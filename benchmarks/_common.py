@@ -1,0 +1,94 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one of the paper's tables or figures and writes
+the rendered rows/series to ``benchmarks/results/<name>.txt`` (also
+echoed to stdout). Network sizes are scaled down by default so the full
+suite finishes in tens of minutes on a laptop; set ``REPRO_BENCH_FULL=1``
+for paper-scale sweeps (much slower). EXPERIMENTS.md records the mapping
+and the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro import ExperimentConfig, run_experiment, tuned_protocol
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+
+def scaled(default: list, full: list) -> list:
+    """Pick the scaled-down or paper-scale variant of a sweep axis."""
+    return full if FULL else default
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a bench's rendered output and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+def measure_capacity(
+    preset: str,
+    n: int,
+    topology_kind: str,
+    offered: float,
+    duration: float = 2.5,
+    warmup: float = 1.5,
+    seed: int = 11,
+    bandwidth_bps=None,
+    **protocol_overrides,
+):
+    """Measure committed throughput under heavy offered load.
+
+    ``offered`` should exceed the protocol's expected capacity; the
+    committed rate then measures the drain rate, i.e. capacity.
+    """
+    protocol = tuned_protocol(preset, n=n, topology_kind=topology_kind,
+                              **protocol_overrides)
+    return run_experiment(ExperimentConfig(
+        protocol=protocol,
+        topology_kind=topology_kind,
+        bandwidth_bps=bandwidth_bps,
+        rate_tps=offered,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        label=f"{preset}-n{n}-{topology_kind}",
+    ))
+
+
+def measure_at_rate(
+    preset: str,
+    n: int,
+    topology_kind: str,
+    rate: float,
+    duration: float = 2.5,
+    warmup: float = 1.0,
+    seed: int = 11,
+    bandwidth_bps=None,
+    **protocol_overrides,
+):
+    """Measure throughput and latency at a fixed (sub-capacity) rate."""
+    protocol = tuned_protocol(preset, n=n, topology_kind=topology_kind,
+                              **protocol_overrides)
+    return run_experiment(ExperimentConfig(
+        protocol=protocol,
+        topology_kind=topology_kind,
+        bandwidth_bps=bandwidth_bps,
+        rate_tps=rate,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        label=f"{preset}-n{n}-{topology_kind}-r{rate:.0f}",
+    ))
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

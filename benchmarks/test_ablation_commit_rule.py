@@ -1,0 +1,62 @@
+"""Ablation — commit-rule depth: two-chain vs three-chain HotStuff.
+
+Bamboo (the paper's framework) ships both chained variants. The commit
+rule is orthogonal to the mempool: Stratus removes the *proposing*
+bottleneck, while the chain depth only changes how many certified
+descendants a block needs before committing. Expect one consensus round
+(~one view) less latency under two-chain at equal throughput.
+"""
+
+import pytest
+
+from repro import ExperimentConfig, run_experiment, tuned_protocol
+from repro.harness.report import format_table
+
+from _common import run_once, write_result
+
+N = 16
+RATE = 20_000.0
+
+
+def run(preset: str):
+    protocol = tuned_protocol(
+        preset, n=N, topology_kind="wan",
+        batch_bytes=16 * 1024, batch_timeout=0.1,
+    )
+    return run_experiment(ExperimentConfig(
+        protocol=protocol, topology_kind="wan", rate_tps=RATE,
+        duration=4.0, warmup=1.5, seed=23, label=preset,
+    ))
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_commit_rule(benchmark):
+    def sweep():
+        return {preset: run(preset) for preset in ("S-HS", "S-HS2")}
+
+    results = run_once(benchmark, sweep)
+    rows = [
+        [
+            label,
+            f"{result.throughput_tps:,.0f}",
+            f"{result.latency_mean * 1000:.0f}",
+            f"{result.latency_percentile(99) * 1000:.0f}",
+        ]
+        for label, result in results.items()
+    ]
+    table = format_table(
+        ["variant", "tput (tx/s)", "lat mean (ms)", "lat p99 (ms)"],
+        rows,
+        title=(f"Ablation — three-chain (S-HS) vs two-chain (S-HS2) "
+               f"commit rule, n={N}, WAN"),
+    )
+    write_result("ablation_commit_rule", table)
+
+    three = results["S-HS"]
+    two = results["S-HS2"]
+    # Equal throughput (both commit everything offered)...
+    assert two.throughput_tps == pytest.approx(
+        three.throughput_tps, rel=0.05)
+    # ...but the two-chain rule saves about one consensus round.
+    assert two.latency_mean < three.latency_mean
+    assert three.latency_mean - two.latency_mean > 0.03  # > 30 ms on WAN

@@ -1,0 +1,89 @@
+"""Fig. 5 — throughput vs latency for S-HS while sweeping the batch size.
+
+The paper deploys S-HS on a LAN with N = 128 and N = 256, varying the
+microblock batch size (32–512 KB) and raising offered load until
+saturation. The finding: bigger batches buy throughput (fewer,
+better-amortized messages) with diminishing returns past 64 KB
+(N = 128) / 256 KB (N = 256), at the price of latency.
+
+Scaled default: N = 32 and N = 64 with batch sizes 16–128 KB; set
+REPRO_BENCH_FULL=1 for N = 128/256 at 32–512 KB.
+"""
+
+import pytest
+
+from repro.harness.report import format_table
+
+from _common import measure_at_rate, run_once, scaled, write_result
+
+SWEEP = scaled(
+    default=[
+        (32, [16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024]),
+        (64, [32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024]),
+    ],
+    full=[
+        (128, [32 * 1024, 64 * 1024, 128 * 1024]),
+        (256, [128 * 1024, 256 * 1024, 512 * 1024]),
+    ],
+)
+
+# Offered loads walking up to saturation; measured throughput plateaus
+# at capacity while latency rises, tracing the Fig. 5 curves.
+LOAD_FACTORS = (0.5, 1.2)
+BASE_RATE = 250_000.0  # brackets S-HS capacity at these scales
+
+
+def sweep() -> tuple[str, dict]:
+    rows = []
+    curves: dict = {}
+    for n, batch_sizes in SWEEP:
+        for batch in batch_sizes:
+            points = []
+            for factor in LOAD_FACTORS:
+                rate = BASE_RATE * factor
+                result = measure_at_rate(
+                    "S-HS", n, "lan", rate,
+                    duration=2.0, warmup=1.5,
+                    batch_bytes=batch, batch_timeout=1.0,
+                )
+                points.append(
+                    (result.throughput_tps, result.latency_mean)
+                )
+                rows.append([
+                    f"n{n}-b{batch // 1024}K",
+                    f"{rate:,.0f}",
+                    f"{result.throughput_tps:,.0f}",
+                    f"{result.latency_mean * 1000:.1f}",
+                ])
+            curves[(n, batch)] = points
+    table = format_table(
+        ["config", "offered (tx/s)", "throughput (tx/s)", "latency (ms)"],
+        rows,
+        title="Fig. 5 — S-HS throughput vs latency across batch sizes (LAN)",
+    )
+    return table, curves
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_batch_size(benchmark):
+    table, curves = run_once(benchmark, sweep)
+    write_result("fig5_batch_size", table)
+
+    for (n, batch_sizes) in SWEEP:
+        saturated = {
+            batch: curves[(n, batch)][-1] for batch in batch_sizes
+        }
+        unsaturated = {
+            batch: curves[(n, batch)][0] for batch in batch_sizes
+        }
+        smallest, largest = batch_sizes[0], batch_sizes[-1]
+        # Bigger batches reach at least the throughput of smaller ones at
+        # saturation (amortized per-microblock messaging and proofs)...
+        assert saturated[largest][0] >= 0.9 * saturated[smallest][0]
+        # ...but cost latency at matched (sub-saturation) load, where the
+        # batch fill time dominates. (At saturation the comparison flips:
+        # an overloaded small batch queues without bound.)
+        assert unsaturated[largest][1] > unsaturated[smallest][1]
+        low_load = curves[(n, largest)][0]
+        high_load = curves[(n, largest)][-1]
+        assert high_load[0] >= low_load[0] * 0.95  # throughput grows w/ load

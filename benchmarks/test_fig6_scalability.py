@@ -1,0 +1,107 @@
+"""Fig. 6 — scalability: throughput and latency vs replica count, LAN+WAN.
+
+The paper grows the network from 16 to 400 replicas and compares native
+HotStuff/Streamlet against the shared-mempool protocols and Narwhal. The
+shapes to reproduce:
+
+* N-HS / N-SL throughput falls roughly like 1/n (leader bottleneck);
+* SMP-HS / S-HS / S-SL stay roughly flat, overtaking the native
+  protocols by growing factors (the paper reports ~5x at n = 128 LAN,
+  up to ~20x in WAN);
+* Narwhal sits between: better than native, but limited by its
+  quadratic per-microblock message processing;
+* S-HS tracks SMP-HS closely (PAB overhead is amortized away).
+
+Scaled default: n in {16, 32, 64}, Narwhal up to 32; REPRO_BENCH_FULL=1
+extends to 128 (and Narwhal 64). Each point measures capacity under an
+overload run; latency is reported from a run at 70% of that capacity.
+"""
+
+import pytest
+
+from repro.harness.report import format_table
+
+from _common import (
+    FULL,
+    measure_at_rate,
+    measure_capacity,
+    run_once,
+    scaled,
+    write_result,
+)
+
+SIZES = scaled(default=[16, 32, 64], full=[16, 32, 64, 128])
+NARWHAL_SIZES = scaled(default=[16, 32], full=[16, 32, 64])
+
+# Offered overload per topology: far above every capacity at these sizes.
+OVERLOAD = {"lan": 400_000.0, "wan": 120_000.0}
+PROTOCOLS = ("N-HS", "N-SL", "SMP-HS", "S-HS", "S-SL", "Narwhal")
+
+
+def _sizes_for(preset: str) -> list:
+    return NARWHAL_SIZES if preset == "Narwhal" else SIZES
+
+
+def sweep(topology: str) -> tuple[str, dict]:
+    rows = []
+    capacities: dict = {}
+    for preset in PROTOCOLS:
+        for n in _sizes_for(preset):
+            cap_run = measure_capacity(
+                preset, n, topology, offered=OVERLOAD[topology],
+                duration=2.0, warmup=1.5,
+            )
+            capacity = cap_run.throughput_tps
+            capacities[(preset, n)] = capacity
+            lat_run = measure_at_rate(
+                preset, n, topology, rate=max(500.0, 0.7 * capacity),
+                duration=2.0, warmup=1.5,
+            )
+            rows.append([
+                preset, n,
+                f"{capacity:,.0f}",
+                f"{lat_run.latency_mean * 1000:.0f}",
+                f"{lat_run.latency_percentile(99) * 1000:.0f}",
+            ])
+    table = format_table(
+        ["protocol", "n", "capacity (tx/s)", "lat@70% (ms)", "p99 (ms)"],
+        rows,
+        title=f"Fig. 6 — scalability in {topology.upper()}",
+    )
+    return table, capacities
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_scalability_lan(benchmark):
+    table, caps = run_once(benchmark, lambda: sweep("lan"))
+    write_result("fig6_scalability_lan", table)
+    _check_shapes(caps)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_scalability_wan(benchmark):
+    table, caps = run_once(benchmark, lambda: sweep("wan"))
+    write_result("fig6_scalability_wan", table)
+    _check_shapes(caps)
+
+
+def _check_shapes(caps: dict) -> None:
+    largest = SIZES[-1]
+    # Native protocols decline with n.
+    assert caps[("N-HS", largest)] < caps[("N-HS", SIZES[0])]
+    # Shared-mempool protocols stay roughly flat (within 2x over the sweep).
+    assert caps[("S-HS", largest)] > 0.5 * caps[("S-HS", SIZES[0])]
+    # SMP beats native by a growing factor; at the largest size by > 3x.
+    assert caps[("S-HS", largest)] > 3 * caps[("N-HS", largest)]
+    # S-HS tracks SMP-HS (PAB overhead amortized).
+    assert caps[("S-HS", largest)] > 0.7 * caps[("SMP-HS", largest)]
+    # Streamlet variants stay live and roughly flat across the sweep.
+    assert caps[("S-SL", largest)] > 0.3 * caps[("S-SL", SIZES[0])]
+    assert caps[("N-SL", largest)] < caps[("N-SL", SIZES[0])]
+    # Narwhal: above native, below Stratus at its largest measured size.
+    n_nw = NARWHAL_SIZES[-1]
+    assert caps[("Narwhal", n_nw)] > caps[("N-HS", n_nw)]
+    assert caps[("Narwhal", n_nw)] < caps[("S-HS", n_nw)]
+    if FULL:
+        # Paper headline: ~5x at large n (LAN); allow a generous band.
+        assert caps[("S-HS", largest)] > 4 * caps[("N-HS", largest)]

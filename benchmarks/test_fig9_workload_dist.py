@@ -1,0 +1,59 @@
+"""Fig. 9 — Zipfian workload distribution across replicas.
+
+The paper motivates DLB by showing the client-to-replica load shares
+implied by the Golang Zipf generator: ``Zipf1`` (s=1.01, v=1) is highly
+skewed (one replica absorbs a large share), ``Zipf10`` (s=1.01, v=10)
+is lightly skewed. This bench regenerates those distributions for the
+paper's network sizes and checks their invariants.
+"""
+
+import pytest
+
+from repro.harness.report import format_table
+from repro.workload import ZipfSelector
+
+from _common import run_once, write_result
+
+SIZES = (100, 200, 300, 400)
+TOP_RANKS = 8
+
+
+def build() -> tuple[str, dict]:
+    data: dict = {}
+    rows = []
+    for n in SIZES:
+        zipf1 = ZipfSelector(n, s=1.01, v=1.0)
+        zipf10 = ZipfSelector(n, s=1.01, v=10.0)
+        data[n] = (zipf1, zipf10)
+        for rank in range(TOP_RANKS):
+            rows.append([
+                n, rank,
+                f"{zipf1.share_of(rank) * 100:.2f}%",
+                f"{zipf10.share_of(rank) * 100:.2f}%",
+            ])
+    table = format_table(
+        ["n", "replica rank", "Zipf1 share", "Zipf10 share"],
+        rows,
+        title="Fig. 9 — workload shares under Golang-Zipf parameters",
+    )
+    return table, data
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_workload_distribution(benchmark):
+    table, data = run_once(benchmark, build)
+    write_result("fig9_workload_dist", table)
+
+    for n, (zipf1, zipf10) in data.items():
+        shares1, shares10 = zipf1.shares(), zipf10.shares()
+        # Both are valid, monotone-decreasing distributions.
+        assert abs(sum(shares1) - 1.0) < 1e-9
+        assert abs(sum(shares10) - 1.0) < 1e-9
+        assert all(a >= b for a, b in zip(shares1, shares1[1:]))
+        # Zipf1 is the highly skewed one: its head dominates.
+        assert shares1[0] > 2 * shares10[0]
+        assert shares1[0] > 0.1
+        # Zipf10 is lightly skewed: no replica takes more than ~6%.
+        assert shares10[0] < 0.06
+        # Tail replicas are starved under Zipf1 relative to uniform.
+        assert shares1[-1] < 1.0 / n

@@ -1,0 +1,95 @@
+"""Table I — protocol comparison: message complexity per disseminated
+microblock, availability guarantee, and load balancing.
+
+The paper's table is qualitative; this bench measures the actual number
+of messages each mempool family sends to disseminate one replica's
+microblocks in an n-replica network, confirming the complexity classes:
+gossip and Stratus are O(n) per microblock, Narwhal's reliable broadcast
+is O(n^2).
+"""
+
+import pytest
+
+from repro import ExperimentConfig, build_experiment
+from repro.config import ProtocolConfig
+from repro.harness.report import format_table
+from repro.mempool.base import MessageKinds
+from repro.types import TxBatch
+
+from _common import run_once, write_result
+
+N = 16
+MICROBLOCKS = 5
+
+DISSEMINATION_KINDS = (
+    MessageKinds.MICROBLOCK,
+    MessageKinds.MICROBLOCK_GOSSIP,
+    MessageKinds.MICROBLOCK_FORWARD,
+    MessageKinds.MICROBLOCK_FETCH,
+    MessageKinds.ACK,
+    MessageKinds.PROOF,
+    MessageKinds.RB_ECHO,
+    MessageKinds.RB_READY,
+    MessageKinds.FETCH_REQUEST,
+)
+
+
+def count_dissemination_messages(mempool_kind: str) -> float:
+    """Messages per microblock to fully disseminate MICROBLOCKS blocks."""
+    protocol = ProtocolConfig(
+        n=N, mempool=mempool_kind, batch_bytes=4 * 128,
+        empty_view_delay=0.002,
+    )
+    experiment = build_experiment(ExperimentConfig(
+        protocol=protocol, rate_tps=0.0, duration=5.0,
+    ))
+    replica = experiment.replicas[0]
+    for index in range(MICROBLOCKS):
+        replica.on_client_batch(
+            TxBatch(count=4, payload_bytes=128, mean_arrival=0.0)
+        )
+        experiment.sim.run_until(0.3 * (index + 1))
+    experiment.sim.run_until(3.0)
+    stats = experiment.network.stats.messages_sent
+    total = sum(stats.get(kind, 0) for kind in DISSEMINATION_KINDS)
+    return total / MICROBLOCKS
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_message_complexity(benchmark):
+    def build_table():
+        rows = []
+        reference = {
+            "simple": ("SMP", "no", "no", "O(n)"),
+            "gossip": ("Gossip", "yes*", "partial", "O(n)"),
+            "narwhal": ("SMP + RB", "yes", "no", "O(n^2)"),
+            "stratus": ("SMP + PAB", "yes", "yes", "O(n)"),
+        }
+        measured = {}
+        for kind in ("simple", "gossip", "narwhal", "stratus"):
+            approach, availability, balance, complexity = reference[kind]
+            per_mb = count_dissemination_messages(kind)
+            measured[kind] = per_mb
+            rows.append([
+                kind, approach, availability, balance, complexity,
+                f"{per_mb:.0f}",
+            ])
+        table = format_table(
+            ["mempool", "approach", "availability", "load-bal",
+             "paper class", f"msgs/microblock (n={N})"],
+            rows,
+            title="Table I — message complexity per disseminated microblock",
+        )
+        write_result("table1_message_complexity", table)
+        return measured
+
+    measured = run_once(benchmark, build_table)
+
+    # Complexity classes: linear families stay within a small multiple of
+    # n; the reliable-broadcast family is quadratic.
+    assert measured["simple"] <= 3 * N
+    assert measured["stratus"] <= 5 * N
+    assert measured["gossip"] <= 6 * N
+    assert measured["narwhal"] >= N * N
+    # Stratus pays acks + proofs over simple best-effort, but stays O(n).
+    assert measured["simple"] < measured["stratus"] < measured["narwhal"]

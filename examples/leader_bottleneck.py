@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Demonstrate the leader bottleneck and how the shared mempool removes it.
+
+Runs native HotStuff (N-HS), the simple shared mempool (SMP-HS), and
+Stratus (S-HS) at saturating load on growing LANs, printing measured
+capacity next to the Appendix-A analytic bound for the native protocol.
+This is a scaled-down, fast version of the Fig. 6 experiment.
+
+Run:  python examples/leader_bottleneck.py
+"""
+
+from repro import ExperimentConfig, run_experiment, tuned_protocol
+from repro.analysis import lbft_max_throughput
+from repro.harness import format_table
+
+SIZES = (8, 16, 32)
+OFFERED = 200_000  # well above every protocol's capacity at these sizes
+
+
+def measure(preset: str, n: int) -> float:
+    protocol = tuned_protocol(preset, n=n, topology_kind="lan")
+    result = run_experiment(ExperimentConfig(
+        protocol=protocol,
+        rate_tps=OFFERED,
+        duration=2.0,
+        warmup=1.5,
+        seed=11,
+        label=f"{preset}-n{n}",
+    ))
+    return result.throughput_tps
+
+
+def main() -> None:
+    rows = []
+    for n in SIZES:
+        native = measure("N-HS", n)
+        simple = measure("SMP-HS", n)
+        stratus = measure("S-HS", n)
+        analytic = lbft_max_throughput(1e9, 128 * 8, n)
+        rows.append([
+            n,
+            f"{native:,.0f}",
+            f"{analytic:,.0f}",
+            f"{simple:,.0f}",
+            f"{stratus:,.0f}",
+            f"{stratus / native:.1f}x",
+        ])
+    print(format_table(
+        ["n", "N-HS (sim)", "N-HS (model)", "SMP-HS", "S-HS", "speedup"],
+        rows,
+        title="Leader bottleneck: capacity at saturation (tx/s, LAN)",
+    ))
+    print(
+        "\nThe native protocol's capacity falls like C/(B(n-1)) as the\n"
+        "leader serializes every proposal byte; shared-mempool protocols\n"
+        "spread dissemination across replicas and keep scaling."
+    )
+
+
+if __name__ == "__main__":
+    main()

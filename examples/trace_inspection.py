@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Inspect the protocol's inner life with the event tracer.
+
+Attaches a tracer to every replica of a small Stratus deployment, runs a
+burst of load, and prints the lifecycle of one microblock — creation,
+stability (ack quorum), proposal, and commit — plus aggregate event
+counts. Useful as a debugging recipe when developing new mempools or
+engines against this substrate.
+
+Run:  python examples/trace_inspection.py
+"""
+
+from repro import ExperimentConfig, build_experiment, tuned_protocol
+from repro.tracing import Tracer
+
+
+def main() -> None:
+    protocol = tuned_protocol(
+        "S-HS", n=7, topology_kind="lan",
+        batch_bytes=8 * 1024, batch_timeout=0.05,
+    )
+    experiment = build_experiment(ExperimentConfig(
+        protocol=protocol, rate_tps=5_000, duration=2.0, warmup=0.5,
+    ))
+    tracer = Tracer()
+    for replica in experiment.replicas:
+        replica.tracer = tracer
+    experiment.run()
+
+    print("event counts over the run:")
+    for kind, count in sorted(tracer.counts().items()):
+        print(f"  {kind:12s} {count:7d}")
+
+    first_mb = next(tracer.query(kind="mb_new"))
+    mb_id = first_mb.details["mb"]
+    print(f"\nlifecycle of microblock {mb_id}:")
+    for event in tracer.query():
+        if event.details.get("mb") == mb_id:
+            print(f"  {event}")
+    # The commit that included it:
+    for event in tracer.query(kind="propose"):
+        print(f"  {event}")
+        break
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""``python -m repro`` entry point."""
+
+from repro.cli import run_cli
+
+if __name__ == "__main__":
+    raise SystemExit(run_cli())

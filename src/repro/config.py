@@ -1,0 +1,145 @@
+"""Protocol configuration shared by mempool and consensus components.
+
+One :class:`ProtocolConfig` instance describes everything a replica needs
+to know about the protocol variant under test: which mempool and consensus
+engine to run, batching parameters, PAB quorum, DLB settings, and timers.
+Topology- and workload-level settings live in
+:class:`repro.harness.config.ExperimentConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+MEMPOOL_KINDS = ("native", "simple", "gossip", "narwhal", "stratus")
+CONSENSUS_KINDS = ("hotstuff", "twochain", "streamlet", "pbft")
+
+
+@dataclass
+class ProtocolConfig:
+    """Per-replica protocol parameters.
+
+    Fields default to the paper's settings (Section VII-A): 128-byte
+    transaction payloads, 128 KB microblocks, PAB quorum ``f + 1``,
+    power-of-d sampling with ``d = 1``.
+    """
+
+    n: int
+    mempool: str = "stratus"
+    consensus: str = "hotstuff"
+
+    # -- batching ----------------------------------------------------------
+    tx_payload: int = 128
+    batch_bytes: int = 128 * 1024
+    batch_timeout: float = 0.05
+    native_block_bytes: int = 512 * 1024
+    # The paper sets no proposal-size cap (Section VII-B) because its
+    # settings never accumulate a large backlog; a bound prevents a
+    # death spiral where one slow view yields a multi-megabyte catch-up
+    # proposal that itself times out. 0 = unlimited.
+    proposal_max_microblocks: int = 1024
+
+    # -- PAB ---------------------------------------------------------------
+    pab_quorum: Optional[int] = None  # None = f + 1
+    fetch_timeout: float = 0.5  # delta in Algorithm 2
+    # Grace period before a PAB recovery fetch: in the prototype, per-peer
+    # TCP FIFO means a correct sender's body always precedes its proof, so
+    # an immediate fetch would duplicate an in-flight transfer. None means
+    # "use fetch_timeout". Recovery is background traffic (Section IV-B).
+    recovery_fetch_delay: Optional[float] = None
+    fetch_sample_fraction: float = 0.25  # share of signers asked per round
+    fetch_max_targets: int = 4
+
+    # -- DLB ---------------------------------------------------------------
+    load_balancing: bool = False
+    lb_samples: int = 1  # d in power-of-d-choices
+    lb_query_timeout: float = 0.2  # tau
+    lb_forward_timeout: float = 1.0  # tau'
+    lb_probe_interval: int = 8  # self-push every k-th mb while busy
+    estimator_window: int = 100
+    estimator_percentile: float = 95.0
+    busy_margin: float = 2.0  # busy if ST_p > margin * baseline + slack
+    busy_slack: float = 0.05  # seconds of absolute slack (epsilon + beta)
+
+    # -- gossip ------------------------------------------------------------
+    gossip_fanout: int = 3
+
+    # -- consensus ---------------------------------------------------------
+    view_timeout: float = 2.0
+    empty_view_delay: float = 0.005
+    streamlet_epoch: float = 0.4
+    pbft_window: int = 8
+
+    # -- garbage collection (Section VIII) ----------------------------------
+    # Seconds to retain a committed microblock's body and proof before
+    # discarding them. Retention gives straggling replicas time to finish
+    # their background fills; 0 disables GC entirely.
+    gc_retention: float = 30.0
+
+    # -- fault model -------------------------------------------------------
+    byzantine: frozenset[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.n < 4:
+            raise ValueError(f"BFT needs n >= 4, got n={self.n}")
+        if self.mempool not in MEMPOOL_KINDS:
+            raise ValueError(
+                f"unknown mempool {self.mempool!r}; choose from {MEMPOOL_KINDS}"
+            )
+        if self.consensus not in CONSENSUS_KINDS:
+            raise ValueError(
+                f"unknown consensus {self.consensus!r}; "
+                f"choose from {CONSENSUS_KINDS}"
+            )
+        if self.pab_quorum is not None and not (
+            self.f + 1 <= self.pab_quorum <= 2 * self.f + 1
+        ):
+            raise ValueError(
+                f"pab_quorum must be in [f+1, 2f+1] = "
+                f"[{self.f + 1}, {2 * self.f + 1}], got {self.pab_quorum}"
+            )
+        if self.lb_samples < 1:
+            raise ValueError(f"lb_samples must be >= 1, got {self.lb_samples}")
+        if not 0.0 < self.fetch_sample_fraction <= 1.0:
+            raise ValueError(
+                "fetch_sample_fraction must be in (0, 1], "
+                f"got {self.fetch_sample_fraction}"
+            )
+        if len(self.byzantine) > self.f:
+            raise ValueError(
+                f"{len(self.byzantine)} Byzantine replicas exceeds f={self.f}"
+            )
+
+    @property
+    def f(self) -> int:
+        """Fault tolerance: largest f with n >= 3f + 1."""
+        return (self.n - 1) // 3
+
+    @property
+    def consensus_quorum(self) -> int:
+        """Votes needed for a quorum certificate (2f + 1)."""
+        return 2 * self.f + 1
+
+    @property
+    def stability_quorum(self) -> int:
+        """PAB ack quorum q, in [f+1, 2f+1]; defaults to f + 1."""
+        if self.pab_quorum is not None:
+            return self.pab_quorum
+        return self.f + 1
+
+    @property
+    def effective_recovery_delay(self) -> float:
+        """Grace period before fetching a missing microblock."""
+        if self.recovery_fetch_delay is not None:
+            return self.recovery_fetch_delay
+        return self.fetch_timeout
+
+    @property
+    def txs_per_microblock(self) -> int:
+        """Transactions needed to fill a microblock at the batch size."""
+        return max(1, self.batch_bytes // self.tx_payload)
+
+    def with_updates(self, **changes) -> "ProtocolConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

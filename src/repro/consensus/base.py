@@ -1,0 +1,72 @@
+"""Shared consensus-engine interface and helpers."""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.config import ProtocolConfig
+from repro.sim.network import Channel, Envelope
+from repro.types.proposal import Proposal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mempool.base import Mempool
+    from repro.replica.node import Replica
+
+
+class ConsensusEngine(abc.ABC):
+    """One replica's consensus endpoint.
+
+    The engine drives views/epochs, asks the mempool for payloads when
+    this replica leads, gates votes through :meth:`Mempool.prepare`, and
+    reports commits back through :meth:`Mempool.on_commit`.
+    """
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        host: "Replica",
+        mempool: "Mempool",
+        config: ProtocolConfig,
+    ) -> None:
+        self.host = host
+        self.mempool = mempool
+        self.config = config
+
+    @abc.abstractmethod
+    def start(self) -> None:
+        """Begin participating (enter the first view/epoch)."""
+
+    @abc.abstractmethod
+    def on_message(self, envelope: Envelope) -> None:
+        """Handle a consensus message."""
+
+    @abc.abstractmethod
+    def current_leader(self) -> int:
+        """Leader of the current view/epoch (used by attackers too)."""
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def node_id(self) -> int:
+        return self.host.node_id
+
+    def leader_of(self, view: int) -> int:
+        """Round-robin leader rotation over the configured leader set."""
+        leaders = self.host.leader_set
+        return leaders[view % len(leaders)]
+
+    def send(self, dst: int, kind: str, size_bytes: float, payload: object) -> None:
+        self.host.network.send(
+            self.node_id, dst, kind, size_bytes, payload, Channel.CONSENSUS
+        )
+
+    def broadcast(self, kind: str, size_bytes: float, payload: object) -> None:
+        self.host.network.broadcast(
+            self.node_id, kind, size_bytes, payload, Channel.CONSENSUS
+        )
+
+    def handle_commit(self, proposal: Proposal) -> None:
+        """Common commit path: notify mempool (metrics + GC + execution)."""
+        self.mempool.on_commit(proposal, self.host.sim.now)

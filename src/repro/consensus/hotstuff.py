@@ -1,0 +1,376 @@
+"""Chained HotStuff (three-chain commit rule) with a round-robin pacemaker.
+
+The implementation follows the chained variant the paper integrates with
+(via Bamboo): one proposal per view, votes sent to the next leader, a
+quorum certificate formed from ``2f + 1`` votes justifies the next
+proposal, and a block commits when it heads a three-chain of
+consecutive-view certified blocks. View changes use timeout (new-view)
+messages carrying the sender's highest QC.
+
+Mempool integration points:
+
+* ``make_payload`` when this replica proposes;
+* ``verify_payload`` on receipt — a failing payload (bad availability
+  proof) triggers a view-change against the leader;
+* ``prepare`` gates the vote: the engine votes only when the mempool says
+  the proposal may enter the commit phase;
+* ``on_commit`` / ``on_abandoned`` on three-chain commits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.config import ProtocolConfig
+from repro.consensus.base import ConsensusEngine
+from repro.crypto import (
+    GENESIS_QC,
+    QuorumCert,
+    Signature,
+    make_quorum_cert,
+    verify_quorum_cert,
+    vote_signature,
+)
+from repro.mempool.base import MessageKinds
+from repro.sim.engine import Timer
+from repro.sim.network import Envelope
+from repro.types import sizes
+from repro.types.proposal import Payload, Proposal, make_block_id
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mempool.base import Mempool
+    from repro.replica.node import Replica
+
+GENESIS_ID = 0
+
+
+class HotStuff(ConsensusEngine):
+    """Chained HotStuff engine for one replica."""
+
+    name = "hotstuff"
+
+    def __init__(
+        self, host: "Replica", mempool: "Mempool", config: ProtocolConfig
+    ) -> None:
+        super().__init__(host, mempool, config)
+        genesis = Proposal(
+            block_id=GENESIS_ID, view=0, height=0, proposer=-1,
+            parent_id=GENESIS_ID, justify=GENESIS_QC, payload=Payload(),
+        )
+        self.proposals: dict[int, Proposal] = {GENESIS_ID: genesis}
+        self.cur_view = 0
+        self.voted_view = 0
+        self.high_qc: QuorumCert = GENESIS_QC
+        self.locked_view = 0
+        self.committed: set[int] = {GENESIS_ID}
+        self.committed_height = 0
+        self._abandoned: set[int] = set()
+        self._votes: dict[tuple[int, int], dict[int, Signature]] = {}
+        self._qc_done: set[tuple[int, int]] = set()
+        self._new_views: dict[int, dict[int, QuorumCert]] = {}
+        self._proposed_views: set[int] = set()
+        self._view_timer: Optional[Timer] = None
+        self._block_counter = 0
+        self._pacing_view: Optional[int] = None
+        # Large parent proposals can still be in flight when small votes
+        # or child proposals arrive; both are parked until the parent lands.
+        self._orphans: dict[int, list[Proposal]] = {}
+        self._deferred_propose: dict[int, tuple[int, QuorumCert]] = {}
+        self._sync_requested: set[int] = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self._enter_view(1, justify=GENESIS_QC)
+
+    def current_leader(self) -> int:
+        return self.leader_of(max(self.cur_view, 1))
+
+    # -- view management -----------------------------------------------
+
+    def _enter_view(self, view: int, justify: Optional[QuorumCert] = None) -> None:
+        if view <= self.cur_view:
+            return
+        self.cur_view = view
+        if self._view_timer is not None:
+            self._view_timer.cancel()
+        self._view_timer = self.host.sim.schedule(
+            self.config.view_timeout, lambda: self._on_timeout(view)
+        )
+        if (
+            self.leader_of(view) == self.node_id
+            and not self.host.behavior.silent
+        ):
+            if justify is not None:
+                self._try_propose(view, justify)
+            elif view == 1:
+                self._try_propose(view, GENESIS_QC)
+
+    def _on_timeout(self, view: int) -> None:
+        if self.cur_view != view:
+            return
+        self.host.trace("view_change", view=view)
+        self.host.metrics.record_view_change(self.node_id, view)
+        next_view = view + 1
+        if not self.host.behavior.silent:
+            leader = self.leader_of(next_view)
+            message = (next_view, self.high_qc)
+            if leader == self.node_id:
+                self._record_new_view(next_view, self.node_id, self.high_qc)
+            else:
+                self.send(
+                    leader, MessageKinds.NEW_VIEW, sizes.NEW_VIEW, message
+                )
+        self._enter_view(next_view)
+
+    # -- proposing -----------------------------------------------------
+
+    def _try_propose(self, view: int, justify: QuorumCert) -> None:
+        if view in self._proposed_views or self.host.behavior.silent:
+            return
+        if justify.block_id not in self.proposals:
+            # The certified block (votes outran the proposal body) has not
+            # arrived yet; propose as soon as it does.
+            self._deferred_propose[justify.block_id] = (view, justify)
+            return
+        payload = self.mempool.make_payload()
+        if payload.is_empty and self._pacing_view != view:
+            # Pace empty views briefly so an idle chain does not spin at
+            # wire speed (Bamboo regulates proposal frequency similarly).
+            self._pacing_view = view
+            self.host.sim.schedule(
+                self.config.empty_view_delay,
+                lambda: self._try_propose(view, justify),
+            )
+            return
+        if view in self._proposed_views or self.cur_view > view:
+            return
+        self._proposed_views.add(view)
+        parent = self.proposals[justify.block_id]
+        proposal = Proposal(
+            block_id=make_block_id(self.node_id, self._block_counter),
+            view=view,
+            height=parent.height + 1,
+            proposer=self.node_id,
+            parent_id=parent.block_id,
+            justify=justify,
+            payload=payload,
+            created_at=self.host.sim.now,
+        )
+        self._block_counter += 1
+        self.host.trace(
+            "propose", view=view, block=proposal.block_id,
+            entries=len(payload.microblock_ids),
+        )
+        self.broadcast(
+            MessageKinds.PROPOSAL, proposal.size_bytes, proposal
+        )
+        self._handle_proposal(proposal)
+
+    # -- message handling ----------------------------------------------
+
+    def on_message(self, envelope: Envelope) -> None:
+        kind = envelope.kind
+        if kind == MessageKinds.PROPOSAL:
+            self._handle_proposal(envelope.payload)
+        elif kind == MessageKinds.VOTE:
+            block_id, view, signature = envelope.payload
+            self._handle_vote(block_id, view, signature)
+        elif kind == MessageKinds.NEW_VIEW:
+            view, qc = envelope.payload
+            self._record_new_view(view, envelope.src, qc)
+        elif kind == MessageKinds.SYNC_REQUEST:
+            self._serve_sync(envelope.src, envelope.payload)
+
+    def _handle_proposal(self, proposal: Proposal) -> None:
+        if proposal.block_id in self.proposals:
+            return
+        if not verify_quorum_cert(
+            proposal.justify, self.config.consensus_quorum, self.config.n
+        ):
+            return
+        if proposal.parent_id not in self.proposals:
+            # Parent still in flight (or lost): park until it arrives and
+            # ask for a retransmission in case it was actually lost.
+            self._orphans.setdefault(proposal.parent_id, []).append(proposal)
+            self._request_sync(proposal.parent_id, proposal.proposer)
+            return
+        self.proposals[proposal.block_id] = proposal
+        self._process_qc(proposal.justify)
+        if proposal.view > self.cur_view:
+            self._enter_view(proposal.view)
+        if not self.mempool.verify_payload(proposal.payload):
+            # Invalid availability proof: blame the leader, change view
+            # (CE-VIEWCHANGE in Algorithm 3). _on_timeout records the
+            # view-change metric.
+            self._on_timeout(self.cur_view)
+            self._release_dependents(proposal)
+            return
+        self._maybe_vote(proposal)
+        self._release_dependents(proposal)
+
+    def _maybe_vote(self, proposal: Proposal) -> None:
+        if self.host.behavior.silent:
+            return
+        if proposal.view != self.cur_view or self.voted_view >= proposal.view:
+            return
+        if proposal.justify.view < self.locked_view:
+            return  # safety rule: never contradict the lock
+        self.voted_view = proposal.view
+        next_leader = self.leader_of(proposal.view + 1)
+
+        def cast_vote() -> None:
+            signature = vote_signature(
+                self.node_id, proposal.block_id, proposal.view
+            )
+            message = (proposal.block_id, proposal.view, signature)
+            if next_leader == self.node_id:
+                self._handle_vote(proposal.block_id, proposal.view, signature)
+            else:
+                self.send(
+                    next_leader, MessageKinds.VOTE, sizes.VOTE, message
+                )
+
+        self.mempool.prepare(proposal, cast_vote)
+
+    def _request_sync(self, block_id: int, holder: int) -> None:
+        """Ask ``holder`` (who extended the block) to retransmit it.
+
+        Chain sync: broadcast delivers proposals exactly once, so a
+        dropped copy would otherwise leave this replica parked on an
+        orphan forever. Requests repeat on a view-timeout cadence against
+        rotating holders until the block arrives.
+        """
+        if block_id in self.proposals or self.host.behavior.silent:
+            return
+        if block_id in self._sync_requested:
+            return
+        self._sync_requested.add(block_id)
+        self._send_sync_round(block_id, holder, rounds_left=10)
+
+    def _send_sync_round(
+        self, block_id: int, holder: int, rounds_left: int
+    ) -> None:
+        if block_id in self.proposals or rounds_left <= 0:
+            self._sync_requested.discard(block_id)
+            return
+        self.send(holder, MessageKinds.SYNC_REQUEST, sizes.FETCH_REQUEST,
+                  block_id)
+        leaders = self.host.leader_set
+        next_holder = leaders[
+            (leaders.index(holder) + 1) % len(leaders)
+        ] if holder in leaders else leaders[0]
+        self.host.sim.schedule(
+            self.config.view_timeout,
+            lambda: self._send_sync_round(
+                block_id, next_holder, rounds_left - 1
+            ),
+        )
+
+    def _serve_sync(self, requester: int, block_id: int) -> None:
+        proposal = self.proposals.get(block_id)
+        if proposal is None or self.host.behavior.silent:
+            return
+        self.send(requester, MessageKinds.PROPOSAL, proposal.size_bytes,
+                  proposal)
+
+    def _release_dependents(self, proposal: Proposal) -> None:
+        """Process work that was blocked on this proposal's arrival."""
+        deferred = self._deferred_propose.pop(proposal.block_id, None)
+        if deferred is not None:
+            view, justify = deferred
+            if view >= self.cur_view:
+                self._enter_view(view)
+                self._try_propose(view, justify)
+        for orphan in self._orphans.pop(proposal.block_id, []):
+            self._handle_proposal(orphan)
+
+    def _handle_vote(
+        self, block_id: int, view: int, signature: Signature
+    ) -> None:
+        key = (block_id, view)
+        if key in self._qc_done:
+            return
+        votes = self._votes.setdefault(key, {})
+        votes[signature.signer] = signature
+        if len(votes) < self.config.consensus_quorum:
+            return
+        self._qc_done.add(key)
+        qc = make_quorum_cert(
+            block_id, view, list(votes.values()),
+            self.config.consensus_quorum, self.config.n,
+        )
+        del self._votes[key]
+        self._process_qc(qc)
+        next_view = view + 1
+        if (
+            self.leader_of(next_view) == self.node_id
+            and next_view >= self.cur_view
+        ):
+            self._enter_view(next_view)
+            self._try_propose(next_view, qc)
+
+    def _record_new_view(self, view: int, src: int, qc: QuorumCert) -> None:
+        if not verify_quorum_cert(qc, self.config.consensus_quorum, self.config.n):
+            return
+        self._process_qc(qc)
+        if self.leader_of(view) != self.node_id or view in self._proposed_views:
+            return
+        entries = self._new_views.setdefault(view, {})
+        entries[src] = qc
+        if len(entries) >= self.config.consensus_quorum:
+            best = max(entries.values(), key=lambda cert: cert.view)
+            self._enter_view(view)
+            if self.cur_view == view:
+                self._try_propose(view, best)
+
+    # -- chain logic -------------------------------------------------------
+
+    def _process_qc(self, qc: QuorumCert) -> None:
+        if qc.view > self.high_qc.view:
+            self.high_qc = qc
+        certified = self.proposals.get(qc.block_id)
+        if certified is None or certified.block_id == GENESIS_ID:
+            return
+        parent = self.proposals.get(certified.parent_id)
+        if parent is None:
+            return
+        # Two-chain lock: certified extends its parent by one view.
+        if certified.view == parent.view + 1 and parent.view > self.locked_view:
+            self.locked_view = parent.view
+        # Three-chain commit: consecutive views b0 <- b1 <- b2 (=certified).
+        grandparent = self.proposals.get(parent.parent_id)
+        if grandparent is None:
+            return
+        consecutive = (
+            certified.view == parent.view + 1
+            and parent.view == grandparent.view + 1
+        )
+        if consecutive and grandparent.block_id not in self.committed:
+            self._commit_chain(grandparent)
+
+    def _commit_chain(self, tip: Proposal) -> None:
+        chain: list[Proposal] = []
+        cursor: Optional[Proposal] = tip
+        while cursor is not None and cursor.block_id not in self.committed:
+            chain.append(cursor)
+            cursor = self.proposals.get(cursor.parent_id)
+        for proposal in reversed(chain):
+            self.committed.add(proposal.block_id)
+            self.committed_height = max(self.committed_height, proposal.height)
+            self.host.trace(
+                "commit", block=proposal.block_id, height=proposal.height,
+            )
+            self.handle_commit(proposal)
+        self._sweep_abandoned()
+
+    def _sweep_abandoned(self) -> None:
+        """Notify the mempool of forks ruled out by the latest commit."""
+        for block_id, proposal in self.proposals.items():
+            if (
+                proposal.height <= self.committed_height
+                and block_id not in self.committed
+                and block_id not in self._abandoned
+            ):
+                self._abandoned.add(block_id)
+                self.mempool.on_abandoned(proposal)

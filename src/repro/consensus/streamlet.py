@@ -1,0 +1,204 @@
+"""Streamlet (Chan & Shi, AFT 2020): epoch-based textbook consensus.
+
+Epochs of fixed duration advance by (synchronized) local clocks. The
+epoch's leader proposes a block extending the tip of a longest notarized
+chain; every replica broadcasts its vote to everyone (the all-to-all
+pattern that gives Streamlet its ``O(n^2)`` vote complexity); a block is
+*notarized* at ``2f + 1`` votes; three notarized blocks in consecutive
+epochs finalize the middle one and its prefix.
+
+With a native mempool this is N-SL; with Stratus it is S-SL.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.config import ProtocolConfig
+from repro.consensus.base import ConsensusEngine
+from repro.crypto import GENESIS_QC, Signature, vote_signature
+from repro.mempool.base import MessageKinds
+from repro.sim.network import Envelope
+from repro.types import sizes
+from repro.types.proposal import Payload, Proposal, make_block_id
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mempool.base import Mempool
+    from repro.replica.node import Replica
+
+GENESIS_ID = 0
+
+
+class Streamlet(ConsensusEngine):
+    """Streamlet engine for one replica."""
+
+    name = "streamlet"
+
+    def __init__(
+        self, host: "Replica", mempool: "Mempool", config: ProtocolConfig
+    ) -> None:
+        super().__init__(host, mempool, config)
+        genesis = Proposal(
+            block_id=GENESIS_ID, view=0, height=0, proposer=-1,
+            parent_id=GENESIS_ID, justify=GENESIS_QC, payload=Payload(),
+        )
+        self.proposals: dict[int, Proposal] = {GENESIS_ID: genesis}
+        self.epoch = 0
+        self.notarized: set[int] = {GENESIS_ID}
+        self.finalized: set[int] = {GENESIS_ID}
+        self._finalized_height = 0
+        self._votes: dict[int, set[int]] = {}
+        self._voted_epochs: set[int] = set()
+        self._abandoned: set[int] = set()
+        self._block_counter = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self._next_epoch()
+
+    def current_leader(self) -> int:
+        return self.leader_of(max(self.epoch, 1))
+
+    # -- epochs ------------------------------------------------------------
+
+    def _next_epoch(self) -> None:
+        self.epoch += 1
+        self.host.sim.schedule(self.config.streamlet_epoch, self._next_epoch)
+        if (
+            self.leader_of(self.epoch) == self.node_id
+            and not self.host.behavior.silent
+        ):
+            self._propose(self.epoch)
+
+    def _propose(self, epoch: int) -> None:
+        tip = self._longest_notarized_tip()
+        payload = self.mempool.make_payload()
+        proposal = Proposal(
+            block_id=make_block_id(self.node_id, self._block_counter),
+            view=epoch,
+            height=tip.height + 1,
+            proposer=self.node_id,
+            parent_id=tip.block_id,
+            justify=GENESIS_QC,
+            payload=payload,
+            created_at=self.host.sim.now,
+        )
+        self._block_counter += 1
+        self.broadcast(MessageKinds.PROPOSAL, proposal.size_bytes, proposal)
+        self._handle_proposal(proposal)
+
+    def _longest_notarized_tip(self) -> Proposal:
+        tip = self.proposals[GENESIS_ID]
+        for block_id in self.notarized:
+            proposal = self.proposals[block_id]
+            if (proposal.height, proposal.view) > (tip.height, tip.view):
+                tip = proposal
+        return tip
+
+    # -- message handling ----------------------------------------------
+
+    def on_message(self, envelope: Envelope) -> None:
+        kind = envelope.kind
+        if kind == MessageKinds.PROPOSAL:
+            self._handle_proposal(envelope.payload)
+        elif kind == MessageKinds.VOTE:
+            block_id, signature = envelope.payload
+            self._handle_vote(block_id, signature)
+
+    def _handle_proposal(self, proposal: Proposal) -> None:
+        if proposal.block_id in self.proposals:
+            return
+        parent = self.proposals.get(proposal.parent_id)
+        if parent is None:
+            return
+        self.proposals[proposal.block_id] = proposal
+        if self.host.behavior.silent:
+            return
+        if proposal.view != self.epoch or proposal.view in self._voted_epochs:
+            return
+        if proposal.proposer != self.leader_of(proposal.view):
+            return
+        # Streamlet voting rule: the proposal must extend a longest
+        # notarized chain the voter has seen.
+        longest = self._longest_notarized_tip()
+        if parent.block_id not in self.notarized and parent.block_id != GENESIS_ID:
+            return
+        if parent.height < longest.height:
+            return
+        if not self.mempool.verify_payload(proposal.payload):
+            return
+        self._voted_epochs.add(proposal.view)
+
+        def cast_vote() -> None:
+            signature = vote_signature(
+                self.node_id, proposal.block_id, proposal.view
+            )
+            self.broadcast(
+                MessageKinds.VOTE, sizes.VOTE, (proposal.block_id, signature)
+            )
+            self._handle_vote(proposal.block_id, signature)
+
+        self.mempool.prepare(proposal, cast_vote)
+
+    def _handle_vote(self, block_id: int, signature: Signature) -> None:
+        if signature.forged or block_id in self.notarized:
+            return
+        voters = self._votes.setdefault(block_id, set())
+        voters.add(signature.signer)
+        if len(voters) < self.config.consensus_quorum:
+            return
+        if block_id not in self.proposals:
+            return
+        self.notarized.add(block_id)
+        self._votes.pop(block_id, None)
+        self._check_finalization(self.proposals[block_id])
+
+    # -- finalization --------------------------------------------------
+
+    def _check_finalization(self, newest: Proposal) -> None:
+        """Three adjacent-epoch notarized blocks finalize the middle one."""
+        middle = self.proposals.get(newest.parent_id)
+        if middle is None or middle.block_id == GENESIS_ID:
+            return
+        oldest = self.proposals.get(middle.parent_id)
+        if oldest is None:
+            return
+        # Genesis sits at epoch 0, so it participates in the adjacency
+        # check like any other block (epochs 0,1,2 form a valid 3-chain).
+        adjacent = (
+            newest.view == middle.view + 1
+            and middle.view == oldest.view + 1
+        )
+        if not adjacent:
+            return
+        if middle.block_id not in self.notarized:
+            return
+        if oldest.block_id != GENESIS_ID and oldest.block_id not in self.notarized:
+            return
+        if middle.block_id not in self.finalized:
+            self._finalize_chain(middle)
+
+    def _finalize_chain(self, tip: Proposal) -> None:
+        chain: list[Proposal] = []
+        cursor: Optional[Proposal] = tip
+        while cursor is not None and cursor.block_id not in self.finalized:
+            chain.append(cursor)
+            cursor = self.proposals.get(cursor.parent_id)
+        for proposal in reversed(chain):
+            self.finalized.add(proposal.block_id)
+            self._finalized_height = max(
+                self._finalized_height, proposal.height
+            )
+            self.handle_commit(proposal)
+        self._sweep_abandoned()
+
+    def _sweep_abandoned(self) -> None:
+        for block_id, proposal in self.proposals.items():
+            if (
+                proposal.height <= self._finalized_height
+                and block_id not in self.finalized
+                and block_id not in self._abandoned
+            ):
+                self._abandoned.add(block_id)
+                self.mempool.on_abandoned(proposal)

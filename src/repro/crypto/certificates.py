@@ -1,0 +1,69 @@
+"""Quorum certificates for the consensus engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.signatures import Signature, verify_signature
+from repro.types import sizes
+
+
+@dataclass(frozen=True)
+class QuorumCert:
+    """Aggregated 2f+1 votes over ``(block_id, view)``."""
+
+    block_id: int
+    view: int
+    signers: tuple[int, ...]
+    forged: bool = False
+
+    @property
+    def size_bytes(self) -> int:
+        return sizes.QC
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QC(block={self.block_id}, view={self.view}, |S|={len(self.signers)})"
+
+
+GENESIS_QC = QuorumCert(block_id=0, view=0, signers=())
+"""Certificate for the genesis block; verified specially."""
+
+
+def make_quorum_cert(
+    block_id: int, view: int, votes: list[Signature], quorum: int, n: int
+) -> QuorumCert:
+    """Aggregate vote signatures into a QC; raises on an invalid quorum."""
+    digest = _vote_digest(block_id, view)
+    valid_signers: set[int] = set()
+    for vote in votes:
+        if verify_signature(vote, digest, n):
+            valid_signers.add(vote.signer)
+    if len(valid_signers) < quorum:
+        raise ValueError(
+            f"need {quorum} votes for block {block_id} view {view}, "
+            f"got {len(valid_signers)}"
+        )
+    return QuorumCert(block_id=block_id, view=view, signers=tuple(sorted(valid_signers)))
+
+
+def verify_quorum_cert(qc: QuorumCert, quorum: int, n: int) -> bool:
+    """Structural QC verification; the genesis QC is always valid."""
+    if qc == GENESIS_QC:
+        return True
+    if qc.forged:
+        return False
+    signers = set(qc.signers)
+    if len(signers) != len(qc.signers):
+        return False
+    if any(not 0 <= signer < n for signer in signers):
+        return False
+    return len(signers) >= quorum
+
+
+def vote_signature(signer: int, block_id: int, view: int) -> Signature:
+    """Sign a consensus vote for ``(block_id, view)``."""
+    return Signature(signer=signer, digest=_vote_digest(block_id, view))
+
+
+def _vote_digest(block_id: int, view: int) -> int:
+    return (block_id << 24) ^ view

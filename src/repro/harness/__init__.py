@@ -1,0 +1,26 @@
+"""Experiment harness: presets, builder/runner, and report formatting."""
+
+from repro.harness.presets import PROTOCOL_PRESETS, tuned_protocol
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import (
+    ExperimentResult,
+    RunningExperiment,
+    build_experiment,
+    run_experiment,
+)
+from repro.harness.report import format_table, format_series
+from repro.harness.repeat import ReplicatedResult, run_replicated
+
+__all__ = [
+    "ReplicatedResult",
+    "run_replicated",
+    "PROTOCOL_PRESETS",
+    "tuned_protocol",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "RunningExperiment",
+    "build_experiment",
+    "run_experiment",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,71 @@
+"""Experiment-level configuration (topology + workload + faults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import ProtocolConfig
+from repro.sim.topology import FluctuationWindow
+
+SELECTORS = ("uniform", "zipf1", "zipf10")
+FAULTS = ("none", "silent", "censor", "lying")
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything needed to build and run one experiment."""
+
+    protocol: ProtocolConfig
+    topology_kind: str = "lan"  # "lan" | "wan" | "geo"
+    bandwidth_bps: Optional[float] = None  # override topology default
+    # Per-replica bandwidth overrides (node -> bits/s): models the
+    # heterogeneous-capacity deployments of Problem-II.
+    bandwidth_map: Optional[dict[int, float]] = None
+    rate_tps: float = 10_000.0
+    duration: float = 5.0
+    warmup: float = 1.0
+    seed: int = 1
+    selector: str = "uniform"
+    fault: str = "none"
+    fault_count: int = 0
+    tick: float = 0.01
+    attach_executor: bool = False
+    priority_channels: bool = True
+    fluctuation: Optional[FluctuationWindow] = None
+    data_limiter: Optional[tuple[float, float]] = None  # (bytes/s, burst)
+    label: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.topology_kind not in ("lan", "wan", "geo"):
+            raise ValueError(
+                "topology_kind must be 'lan', 'wan', or 'geo', "
+                f"got {self.topology_kind!r}"
+            )
+        if self.selector not in SELECTORS:
+            raise ValueError(
+                f"selector must be one of {SELECTORS}, got {self.selector!r}"
+            )
+        if self.fault not in FAULTS:
+            raise ValueError(f"fault must be one of {FAULTS}, got {self.fault!r}")
+        if self.fault == "none" and self.fault_count:
+            raise ValueError("fault_count requires a fault kind")
+        if self.fault != "none" and self.fault_count <= 0:
+            raise ValueError(f"fault {self.fault!r} requires fault_count > 0")
+        if self.fault_count > self.protocol.f:
+            raise ValueError(
+                f"fault_count {self.fault_count} exceeds f={self.protocol.f}"
+            )
+        if self.duration <= 0 or self.warmup < 0:
+            raise ValueError("duration must be > 0 and warmup >= 0")
+
+    @property
+    def end_time(self) -> float:
+        return self.warmup + self.duration
+
+    @property
+    def byzantine_ids(self) -> frozenset[int]:
+        """Faulty replicas take the highest ids (never in the leader set)."""
+        n = self.protocol.n
+        return frozenset(range(n - self.fault_count, n))

@@ -1,0 +1,97 @@
+"""Protocol presets matching the paper's acronyms (Table II).
+
+``tuned_protocol`` applies the paper's tuning rules: 128 KB microblocks
+for networks up to 128 replicas and 256 KB beyond (Fig. 5's conclusion),
+plus topology-aware timers so native protocols get view timeouts long
+enough to ship their full-data proposals.
+"""
+
+from __future__ import annotations
+
+from repro.config import ProtocolConfig
+from repro.sim.topology import GBPS, MBPS
+
+PROTOCOL_PRESETS: dict[str, tuple[str, str]] = {
+    "N-HS": ("native", "hotstuff"),
+    "N-SL": ("native", "streamlet"),
+    "SMP-HS": ("simple", "hotstuff"),
+    "SMP-SL": ("simple", "streamlet"),
+    "SMP-HS-G": ("gossip", "hotstuff"),
+    "Narwhal": ("narwhal", "hotstuff"),
+    "S-HS": ("stratus", "hotstuff"),
+    "S-SL": ("stratus", "streamlet"),
+    "S-HS2": ("stratus", "twochain"),
+    "N-HS2": ("native", "twochain"),
+    "PBFT": ("native", "pbft"),
+}
+
+
+def _default_batch_bytes(n: int) -> int:
+    """Paper rule: 128 KB for N <= 128, 256 KB for larger networks."""
+    return 128 * 1024 if n <= 128 else 256 * 1024
+
+
+def tuned_protocol(
+    preset: str,
+    n: int,
+    topology_kind: str = "lan",
+    **overrides,
+) -> ProtocolConfig:
+    """Build a :class:`ProtocolConfig` for a paper acronym.
+
+    ``overrides`` win over every tuned default, so benches can pin the
+    exact parameter a figure sweeps (batch size, PAB quorum, d, ...).
+    """
+    if preset not in PROTOCOL_PRESETS:
+        raise ValueError(
+            f"unknown preset {preset!r}; choose from {sorted(PROTOCOL_PRESETS)}"
+        )
+    mempool, consensus = PROTOCOL_PRESETS[preset]
+    is_wan = topology_kind in ("wan", "geo")
+    one_way_delay = 0.050 if is_wan else 0.002
+    bandwidth = 100 * MBPS if is_wan else GBPS
+
+    settings: dict = {
+        "mempool": mempool,
+        "consensus": consensus,
+        "batch_bytes": _default_batch_bytes(n),
+        # Flush partial microblocks after this long. The paper's batch
+        # sizes imply O(1 s) fill times at per-replica saturation rates
+        # (visible in Fig. 5's saturation latencies); flushing much
+        # earlier would shrink microblocks until proof overhead dominates.
+        "batch_timeout": 0.5,
+        "native_block_bytes": 128 * 1024 if is_wan else 512 * 1024,
+        "fetch_timeout": max(0.2, 6 * one_way_delay),
+        "lb_query_timeout": max(0.05, 4 * one_way_delay),
+        "lb_forward_timeout": max(0.5, 12 * one_way_delay),
+        "load_balancing": mempool == "stratus",
+    }
+    if consensus == "streamlet":
+        # One epoch must cover proposal dissemination plus a vote round.
+        if mempool == "native":
+            block_bytes = settings["native_block_bytes"]
+            transmit = (n - 1) * block_bytes * 8.0 / bandwidth
+            settings["streamlet_epoch"] = 1.3 * transmit + 6 * one_way_delay
+        else:
+            epoch = max(0.08, 6 * one_way_delay)
+            settings["streamlet_epoch"] = epoch
+            # Unlike chained HotStuff (whose views stretch with proposal
+            # size), Streamlet's epochs are wall-clock: the leader's
+            # (n-1)-fold proposal broadcast must fit well inside one
+            # epoch, so cap the entry count by a quarter-epoch byte
+            # budget. Stratus entries carry (f+1)-signature proofs.
+            f = (n - 1) // 3
+            entry_bytes = (f + 1) * 64 + 64 if mempool == "stratus" else 64
+            budget_bytes = 0.25 * epoch * bandwidth / 8.0
+            settings["proposal_max_microblocks"] = max(
+                16, int(budget_bytes / ((n - 1) * entry_bytes))
+            )
+    if mempool == "native":
+        block_bytes = settings["native_block_bytes"]
+        transmit = (n - 1) * block_bytes * 8.0 / bandwidth
+        settings["view_timeout"] = max(2.0, 4.0 * transmit)
+    else:
+        settings["view_timeout"] = max(2.0, 40 * one_way_delay)
+
+    settings.update(overrides)
+    return ProtocolConfig(n=n, **settings)

@@ -1,0 +1,72 @@
+"""Replicated runs: average an experiment over several seeds.
+
+The paper reports each data point "as an average over 3 runs" (Fig. 7
+uses 10). ``run_replicated`` re-runs an :class:`ExperimentConfig` with a
+sequence of seeds and aggregates throughput/latency statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import ExperimentResult, run_experiment
+
+
+@dataclass
+class ReplicatedResult:
+    """Mean and spread over seed-replicated runs."""
+
+    runs: list[ExperimentResult]
+
+    @property
+    def throughput_mean(self) -> float:
+        return _mean([run.throughput_tps for run in self.runs])
+
+    @property
+    def throughput_std(self) -> float:
+        return _std([run.throughput_tps for run in self.runs])
+
+    @property
+    def latency_mean(self) -> float:
+        return _mean([run.latency_mean for run in self.runs])
+
+    @property
+    def latency_std(self) -> float:
+        return _std([run.latency_mean for run in self.runs])
+
+    @property
+    def view_changes_mean(self) -> float:
+        return _mean([float(run.view_changes) for run in self.runs])
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+
+def run_replicated(
+    config: ExperimentConfig, seeds: Sequence[int]
+) -> ReplicatedResult:
+    """Run ``config`` once per seed and aggregate."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    runs = [
+        run_experiment(dataclasses.replace(config, seed=seed))
+        for seed in seeds
+    ]
+    return ReplicatedResult(runs=runs)
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _std(values: list[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mean = _mean(values)
+    return math.sqrt(
+        sum((value - mean) ** 2 for value in values) / (len(values) - 1)
+    )

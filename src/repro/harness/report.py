@@ -1,0 +1,66 @@
+"""Plain-text table/series formatting for benchmark output.
+
+Benches print the same rows and series the paper's tables and figures
+report; these helpers keep the output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(
+            value.ljust(widths[index]) for index, value in enumerate(values)
+        ).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in materialized)
+    return "\n".join(parts)
+
+
+def format_series(
+    name: str,
+    points: Iterable[tuple[object, object]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render an (x, y) series, one point per line."""
+    lines = [f"series: {name} ({x_label} -> {y_label})"]
+    lines.extend(f"  {_cell(x):>12}  {_cell(y)}" for x, y in points)
+    return "\n".join(lines)
+
+
+def mbps(bytes_total: float, seconds: float) -> float:
+    """Convert a byte count over a window into megabits per second."""
+    if seconds <= 0:
+        raise ValueError(f"window must be positive, got {seconds}")
+    return bytes_total * 8.0 / seconds / 1_000_000.0
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

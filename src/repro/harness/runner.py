@@ -1,0 +1,240 @@
+"""Experiment builder and runner.
+
+``build_experiment`` assembles a full replica network (simulator, links,
+replicas, mempools, consensus engines, workload generator) from an
+:class:`ExperimentConfig`; ``run_experiment`` runs it and summarizes the
+measurement window into an :class:`ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.consensus import CONSENSUS_CLASSES
+from repro.harness.config import ExperimentConfig
+from repro.kvstore import KVStore
+from repro.mempool import MEMPOOL_CLASSES, NativeMempool, SharedPendingPool
+from repro.metrics import MetricsHub, WeightedDigest
+from repro.replica import (
+    Behavior,
+    CensoringSender,
+    HonestBehavior,
+    LyingProxy,
+    Replica,
+    SilentReplica,
+)
+from repro.sim import (
+    Network,
+    RngRegistry,
+    Simulator,
+    Topology,
+    geo_topology,
+    lan_topology,
+    wan_topology,
+)
+from repro.workload import UniformSelector, WorkloadGenerator, ZipfSelector
+
+
+@dataclass
+class RunningExperiment:
+    """A fully wired experiment, ready to run."""
+
+    config: ExperimentConfig
+    sim: Simulator
+    network: Network
+    topology: Topology
+    replicas: list[Replica]
+    metrics: MetricsHub
+    generator: WorkloadGenerator
+
+    def run(self) -> "ExperimentResult":
+        self.sim.run_until(self.config.end_time)
+        return summarize(self)
+
+
+@dataclass
+class ExperimentResult:
+    """Summary of one run's measurement window."""
+
+    label: str
+    throughput_tps: float
+    latency: WeightedDigest
+    committed_tx: int
+    emitted_tx: int
+    view_changes: int
+    metrics: MetricsHub
+    network: Network
+    config: ExperimentConfig
+
+    @property
+    def latency_mean(self) -> float:
+        return self.latency.mean
+
+    def latency_percentile(self, p: float) -> float:
+        return self.latency.percentile(p)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExperimentResult({self.label!r}, "
+            f"tput={self.throughput_tps:.0f} tps, "
+            f"lat={self.latency_mean * 1000:.1f} ms, "
+            f"vc={self.view_changes})"
+        )
+
+
+def _make_topology(config: ExperimentConfig) -> Topology:
+    n = config.protocol.n
+    if config.topology_kind == "geo":
+        topo = (
+            geo_topology(n, config.bandwidth_bps)
+            if config.bandwidth_bps
+            else geo_topology(n)
+        )
+    elif config.topology_kind == "wan":
+        topo = (
+            wan_topology(n, config.bandwidth_bps)
+            if config.bandwidth_bps
+            else wan_topology(n)
+        )
+    else:
+        topo = (
+            lan_topology(n, config.bandwidth_bps)
+            if config.bandwidth_bps
+            else lan_topology(n)
+        )
+    if config.bandwidth_map:
+        for node, bandwidth in config.bandwidth_map.items():
+            topo.set_bandwidth(node, bandwidth)
+    if config.fluctuation is not None:
+        topo.add_schedule(config.fluctuation)
+    return topo
+
+
+def _make_selector(config: ExperimentConfig):
+    n = config.protocol.n
+    if config.selector == "uniform":
+        return UniformSelector(n)
+    if config.selector == "zipf1":
+        return ZipfSelector(n, s=1.01, v=1.0)
+    return ZipfSelector(n, s=1.01, v=10.0)
+
+
+def _make_behavior(
+    config: ExperimentConfig, node_id: int
+) -> Optional[Behavior]:
+    if node_id not in config.byzantine_ids:
+        return HonestBehavior()
+    if config.fault == "silent":
+        return SilentReplica()
+    if config.fault == "censor":
+        protocol = config.protocol
+        if protocol.mempool == "stratus":
+            # PAB: needs q acks; its own counts, so q - 1 witnesses.
+            witnesses = protocol.stability_quorum - 1
+        elif protocol.mempool == "narwhal":
+            # Bracha RB: needs 2f + 1 echoes; its own counts.
+            witnesses = 2 * protocol.f
+        else:
+            witnesses = 0  # leader-only censoring (the SMP-HS attack)
+        return CensoringSender(min_witnesses=witnesses)
+    if config.fault == "lying":
+        return LyingProxy()
+    return HonestBehavior()
+
+
+def build_experiment(config: ExperimentConfig) -> RunningExperiment:
+    """Wire a complete experiment from its configuration."""
+    protocol = config.protocol.with_updates(byzantine=config.byzantine_ids)
+    sim = Simulator()
+    rng = RngRegistry(config.seed)
+    topology = _make_topology(config)
+    network = Network(
+        sim, topology, rng, priority_channels=config.priority_channels
+    )
+    metrics = MetricsHub(sim)
+
+    leader_set = tuple(
+        node for node in range(protocol.n)
+        if node not in config.byzantine_ids
+    )
+    shared_pool = SharedPendingPool(protocol.tx_payload)
+    mempool_cls = MEMPOOL_CLASSES[protocol.mempool]
+    consensus_cls = CONSENSUS_CLASSES[protocol.consensus]
+
+    replicas: list[Replica] = []
+    for node_id in range(protocol.n):
+        replica = Replica(
+            node_id=node_id,
+            config=protocol,
+            sim=sim,
+            network=network,
+            rng=rng.stream(f"replica.{node_id}"),
+            metrics=metrics,
+            behavior=_make_behavior(config, node_id),
+            leader_set=leader_set,
+        )
+        if mempool_cls is NativeMempool:
+            mempool = NativeMempool(replica, protocol, shared_pool)
+        else:
+            mempool = mempool_cls(replica, protocol)
+        consensus = consensus_cls(replica, mempool, protocol)
+        executor = KVStore() if config.attach_executor else None
+        replica.attach(mempool, consensus, executor)
+        if config.data_limiter is not None:
+            rate, burst = config.data_limiter
+            network.set_data_limiter(node_id, rate, burst)
+        replicas.append(replica)
+
+    generator = WorkloadGenerator(
+        sim=sim,
+        replicas=replicas,
+        rate_tps=config.rate_tps,
+        tx_payload=protocol.tx_payload,
+        selector=_make_selector(config),
+        tick=config.tick,
+    )
+
+    for replica in replicas:
+        replica.start()
+    generator.start()
+
+    return RunningExperiment(
+        config=config,
+        sim=sim,
+        network=network,
+        topology=topology,
+        replicas=replicas,
+        metrics=metrics,
+        generator=generator,
+    )
+
+
+def summarize(experiment: RunningExperiment) -> ExperimentResult:
+    """Measure the window ``[warmup, warmup + duration)``."""
+    config = experiment.config
+    start, end = config.warmup, config.end_time
+    metrics = experiment.metrics
+    return ExperimentResult(
+        label=config.label or _default_label(config),
+        throughput_tps=metrics.throughput_tps(start, end),
+        latency=metrics.latency_stats(start, end),
+        committed_tx=metrics.committed_tx_total,
+        emitted_tx=experiment.generator.emitted_tx_count,
+        view_changes=metrics.view_change_count,
+        metrics=metrics,
+        network=experiment.network,
+        config=config,
+    )
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Build, run, and summarize in one call."""
+    return build_experiment(config).run()
+
+
+def _default_label(config: ExperimentConfig) -> str:
+    return (
+        f"{config.protocol.mempool}/{config.protocol.consensus}"
+        f"-n{config.protocol.n}-{config.topology_kind}"
+    )

@@ -1,0 +1,5 @@
+"""In-memory key-value state machine executed over committed blocks."""
+
+from repro.kvstore.store import KVStore
+
+__all__ = ["KVStore"]

@@ -1,0 +1,59 @@
+"""In-memory key-value store (the Bamboo benchmark state machine).
+
+Committed full blocks are applied in commit order. Transactions in the
+simulation are counted rather than materialized, so the applied
+operations are synthesized deterministically from the block identity —
+each transaction becomes a ``set`` on a key derived from
+``(block_id, index)``. Two replicas applying the same block sequence end
+in the same state, which the integration tests assert.
+"""
+
+from __future__ import annotations
+
+from repro.types.proposal import Block
+
+
+class KVStore:
+    """Deterministic KV state machine."""
+
+    def __init__(self, key_space: int = 10_000) -> None:
+        if key_space <= 0:
+            raise ValueError(f"key_space must be positive, got {key_space}")
+        self._key_space = key_space
+        self._data: dict[int, int] = {}
+        self._applied_blocks: list[int] = []
+        self._tx_applied = 0
+
+    @property
+    def applied_block_ids(self) -> list[int]:
+        return list(self._applied_blocks)
+
+    @property
+    def tx_applied(self) -> int:
+        return self._tx_applied
+
+    def apply_block(self, block: Block) -> None:
+        """Execute every transaction of a full block, in microblock order."""
+        if not block.is_full:
+            raise ValueError(
+                f"cannot execute partial block {block.block_id}: "
+                f"missing {block.missing_ids}"
+            )
+        self._applied_blocks.append(block.block_id)
+        for mb_id in block.proposal.payload.microblock_ids:
+            microblock = block.microblocks[mb_id]
+            for index in range(microblock.tx_count):
+                key = (mb_id * 1_000_003 + index) % self._key_space
+                self._data[key] = self._data.get(key, 0) + 1
+                self._tx_applied += 1
+
+    def get(self, key: int) -> int:
+        return self._data.get(key, 0)
+
+    def state_digest(self) -> int:
+        """Order-independent digest of the store contents (for replica
+        state comparison in tests)."""
+        digest = 0
+        for key, value in self._data.items():
+            digest ^= hash((key, value))
+        return digest

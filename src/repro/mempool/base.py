@@ -1,0 +1,181 @@
+"""The shared-mempool abstraction (Section III).
+
+Every mempool implements the four primitives from the paper —
+``ReceiveTx`` (:meth:`Mempool.on_client_batch`), ``ShareTx`` (internal to
+the implementation), ``MakeProposal`` (:meth:`Mempool.make_payload`), and
+``FillProposal`` (:meth:`Mempool.resolve`) — plus two hooks the consensus
+engine needs:
+
+* :meth:`Mempool.verify_payload` — can this payload be trusted? Stratus
+  verifies availability proofs here; an invalid payload triggers a
+  view-change in the engine.
+* :meth:`Mempool.prepare` — may the replica vote yet? Native and simple
+  SMP require the full data before the commit phase; Stratus only needs
+  valid proofs, so it reports readiness immediately (the heart of
+  Solution-I).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, TYPE_CHECKING
+
+from repro.config import ProtocolConfig
+from repro.sim.network import Channel, Envelope
+from repro.types import TxBatch
+from repro.types.proposal import Block, Payload, Proposal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.replica.node import Replica
+
+
+class MessageKinds:
+    """Wire message kinds; the prefix groups them for bandwidth accounting.
+
+    Table III groups leader/non-leader traffic into Proposals,
+    Microblocks, Votes, and Acks; kinds starting with ``mb`` count as
+    microblock traffic, ``pab.ack`` as acks, and so on.
+    """
+
+    MICROBLOCK = "mb"
+    MICROBLOCK_GOSSIP = "mb.gossip"
+    MICROBLOCK_FETCH = "mb.fetch"
+    MICROBLOCK_FORWARD = "mb.forward"
+    ACK = "pab.ack"
+    PROOF = "pab.proof"
+    FETCH_REQUEST = "fetch.req"
+    RB_ECHO = "rb.echo"
+    RB_READY = "rb.ready"
+    LB_QUERY = "lb.query"
+    LB_INFO = "lb.info"
+    PROPOSAL = "ce.proposal"
+    VOTE = "ce.vote"
+    NEW_VIEW = "ce.newview"
+    SYNC_REQUEST = "ce.sync"
+    PBFT_PREPARE = "ce.prepare"
+    PBFT_COMMIT = "ce.commit"
+
+    MICROBLOCK_KINDS = (
+        MICROBLOCK,
+        MICROBLOCK_GOSSIP,
+        MICROBLOCK_FETCH,
+        MICROBLOCK_FORWARD,
+    )
+
+
+OnReady = Callable[[], None]
+OnFull = Callable[[Block], None]
+
+
+class Mempool(abc.ABC):
+    """Abstract mempool bound to one replica."""
+
+    name = "abstract"
+
+    def __init__(self, host: "Replica", config: ProtocolConfig) -> None:
+        self.host = host
+        self.config = config
+
+    # -- client side ---------------------------------------------------
+
+    @abc.abstractmethod
+    def on_client_batch(self, batch: TxBatch) -> None:
+        """``ReceiveTx``: accept transactions from a client."""
+
+    # -- leader side -----------------------------------------------------
+
+    @abc.abstractmethod
+    def make_payload(self) -> Payload:
+        """``MakeProposal``: pull pending content into a payload.
+
+        Called by the consensus engine when this replica proposes. The
+        payload may be empty (the chain still advances to commit earlier
+        blocks).
+        """
+
+    # -- follower side ---------------------------------------------------
+
+    def verify_payload(self, payload: Payload) -> bool:
+        """Validate an incoming payload; ``False`` triggers a view-change."""
+        return True
+
+    @abc.abstractmethod
+    def prepare(self, proposal: Proposal, on_ready: OnReady) -> None:
+        """Gate voting: call ``on_ready`` once the proposal may enter
+        the commit phase at this replica."""
+
+    @abc.abstractmethod
+    def resolve(self, proposal: Proposal, on_full: OnFull) -> None:
+        """``FillProposal``: assemble the full block, fetching missing
+        microblocks if needed, then call ``on_full``."""
+
+    def on_commit(self, proposal: Proposal, commit_time: float) -> None:
+        """Commit hook: report metrics once the block is full, then GC.
+
+        The metrics hub deduplicates by block id, so every replica may
+        call this; the first (earliest) report wins.
+        """
+        def report(block: Block) -> None:
+            latencies = [
+                (commit_time - mb.mean_arrival, float(mb.tx_count))
+                for mb in block.microblocks.values()
+            ]
+            self.host.metrics.record_commit(
+                block_id=proposal.block_id,
+                tx_count=block.tx_count,
+                microblock_count=len(block.microblocks),
+                latencies=latencies,
+                commit_time=commit_time,
+            )
+            block.committed_at = commit_time
+            self.host.on_block_executed(block)
+            self.garbage_collect(proposal)
+
+        self.resolve(proposal, report)
+
+    def garbage_collect(self, proposal: Proposal) -> None:
+        """Drop per-microblock bookkeeping for a committed proposal."""
+
+    def on_abandoned(self, proposal: Proposal) -> None:
+        """A fork containing ``proposal`` lost; re-queue its content.
+
+        Called once per replica when a commit reveals that a stored block
+        is not on the canonical chain. Implementations re-queue payload
+        they own so the content is eventually proposed again
+        (SMP-Inclusion)."""
+
+    # -- network ---------------------------------------------------------
+
+    def on_message(self, envelope: Envelope) -> None:
+        """Handle a mempool-level message (default: ignore)."""
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def node_id(self) -> int:
+        return self.host.node_id
+
+    def send(
+        self,
+        dst: int,
+        kind: str,
+        size_bytes: float,
+        payload: object,
+        channel: Channel = Channel.DATA,
+    ) -> None:
+        self.host.network.send(
+            self.node_id, dst, kind, size_bytes, payload, channel
+        )
+
+    def broadcast(
+        self,
+        kind: str,
+        size_bytes: float,
+        payload: object,
+        channel: Channel = Channel.DATA,
+        recipients: list[int] | None = None,
+    ) -> None:
+        self.host.network.broadcast(
+            self.node_id, kind, size_bytes, payload, channel,
+            recipients=recipients,
+        )

@@ -1,0 +1,170 @@
+"""Missing-microblock fetching (the ``PAB-Fetch`` procedure, Algorithm 2).
+
+A fetch round sends requests to a target set, arms a timeout ``delta``,
+and repeats with fresh targets until the store reports delivery. Target
+selection is pluggable: the simple SMP fetches from the current leader
+(the behaviour that collapses under attack), while Stratus samples from
+the availability proof's signers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.config import ProtocolConfig
+from repro.sim.network import Channel
+from repro.mempool.base import MessageKinds
+from repro.mempool.store import MicroBlockStore
+from repro.sim.engine import Timer
+from repro.types import sizes
+from repro.types.microblock import MicroBlockId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.replica.node import Replica
+
+TargetProvider = Callable[[set[int]], list[int]]
+
+
+class _PendingFetch:
+    __slots__ = ("mb_id", "targets_provider", "requested", "timer", "rounds")
+
+    def __init__(self, mb_id: MicroBlockId, targets_provider: TargetProvider):
+        self.mb_id = mb_id
+        self.targets_provider = targets_provider
+        self.requested: set[int] = set()
+        self.timer: Optional[Timer] = None
+        self.rounds = 0
+
+
+class FetchManager:
+    """Drives fetch rounds and answers peers' fetch requests."""
+
+    def __init__(
+        self,
+        host: "Replica",
+        config: ProtocolConfig,
+        store: MicroBlockStore,
+    ) -> None:
+        self._host = host
+        self._config = config
+        self._store = store
+        self._pending: dict[MicroBlockId, _PendingFetch] = {}
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    def request(
+        self,
+        mb_id: MicroBlockId,
+        targets_provider: TargetProvider,
+        delay: float = 0.0,
+    ) -> None:
+        """Fetch ``mb_id`` until delivered; idempotent per microblock.
+
+        ``delay`` defers the first round: the common reason a microblock
+        is missing is that its broadcast copy is still serializing at the
+        origin, so an immediate request would duplicate an in-flight
+        transfer (per-peer TCP FIFO prevents this in the prototype).
+        """
+        if mb_id in self._store or mb_id in self._pending:
+            return
+        pending = _PendingFetch(mb_id, targets_provider)
+        self._pending[mb_id] = pending
+        self._store.on_delivery(mb_id, lambda _mb: self._delivered(mb_id))
+        if delay > 0:
+            pending.timer = self._host.sim.schedule(
+                delay, lambda: self._round(pending)
+            )
+        else:
+            self._round(pending)
+
+    def handle_request(self, requester: int, mb_id: MicroBlockId) -> None:
+        """Serve a peer's fetch request if we hold the microblock."""
+        if not self._host.behavior.serves_fetches:
+            return
+        microblock = self._store.get(mb_id)
+        if microblock is None:
+            return
+        self._host.network.send(
+            self._host.node_id,
+            requester,
+            MessageKinds.MICROBLOCK_FETCH,
+            microblock.size_bytes,
+            microblock,
+        )
+
+    # -- internal ----------------------------------------------------------
+
+    def _round(self, pending: _PendingFetch) -> None:
+        if pending.mb_id not in self._pending:
+            return
+        pending.rounds += 1
+        targets = pending.targets_provider(pending.requested)
+        if not targets:
+            # Exhausted the candidate set; retry everyone next round.
+            pending.requested.clear()
+            targets = pending.targets_provider(pending.requested)
+        for target in targets:
+            pending.requested.add(target)
+            self._host.network.send(
+                self._host.node_id,
+                target,
+                MessageKinds.FETCH_REQUEST,
+                sizes.FETCH_REQUEST,
+                pending.mb_id,
+                Channel.CONTROL,
+            )
+            self._host.metrics.record_fetch()
+        pending.timer = self._host.sim.schedule(
+            self._config.fetch_timeout, lambda: self._round(pending)
+        )
+
+    def _delivered(self, mb_id: MicroBlockId) -> None:
+        pending = self._pending.pop(mb_id, None)
+        if pending is not None and pending.timer is not None:
+            pending.timer.cancel()
+
+
+def sampled_signers(
+    config: ProtocolConfig,
+    rng,
+    signers: tuple[int, ...],
+    own_id: int,
+) -> TargetProvider:
+    """Target provider for PAB recovery: random subset of proof signers.
+
+    Per Algorithm 2, each un-requested signer is asked with a configured
+    probability; at least one target is always selected so a round makes
+    progress.
+    """
+
+    def provider(requested: set[int]) -> list[int]:
+        candidates = [
+            signer
+            for signer in signers
+            if signer != own_id and signer not in requested
+        ]
+        if not candidates:
+            return []
+        chosen = [
+            signer
+            for signer in candidates
+            if rng.random() < config.fetch_sample_fraction
+        ]
+        if not chosen:
+            chosen = [rng.choice(candidates)]
+        if len(chosen) > config.fetch_max_targets:
+            chosen = rng.sample(chosen, config.fetch_max_targets)
+        return chosen
+
+    return provider
+
+
+def single_target(target: int) -> TargetProvider:
+    """Target provider that always asks one node (fetch-from-leader)."""
+
+    def provider(requested: set[int]) -> list[int]:
+        return [target]
+
+    return provider

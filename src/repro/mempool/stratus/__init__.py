@@ -1,0 +1,20 @@
+"""Stratus: the paper's robust shared mempool.
+
+Three cooperating pieces:
+
+* :mod:`repro.mempool.stratus.pab` — provably available broadcast
+  (Algorithms 1 and 2);
+* :mod:`repro.mempool.stratus.estimator` — stable-time workload
+  estimation (Section V-B);
+* :mod:`repro.mempool.stratus.dlb` — distributed load balancing with
+  power-of-d proxy selection (Algorithm 4);
+* :mod:`repro.mempool.stratus.mempool` — the mempool tying them to the
+  consensus engine (Algorithm 3).
+"""
+
+from repro.mempool.stratus.pab import PabEngine
+from repro.mempool.stratus.estimator import StableTimeEstimator
+from repro.mempool.stratus.dlb import LoadBalancer
+from repro.mempool.stratus.mempool import StratusMempool
+
+__all__ = ["PabEngine", "StableTimeEstimator", "LoadBalancer", "StratusMempool"]

@@ -1,0 +1,115 @@
+"""Stable-time workload estimation (Section V-B, Fig. 4).
+
+The *stable time* (ST) of a microblock is the interval between the pusher
+broadcasting it and the ack quorum arriving. The estimator keeps a
+sliding window of the latest STs, summarizes it with the n-th percentile,
+and compares that against a baseline — the smallest ST ever observed,
+which approximates the uncongested constant the paper calls alpha. A
+replica is *busy* when the percentile exceeds the baseline by the
+configured margin, mirroring the observation that delay rises sharply
+under overload while staying flat otherwise (Appendix B).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Optional
+
+_MIN_SAMPLES = 5
+
+
+class StableTimeEstimator:
+    """Sliding-window percentile estimator for one replica's load."""
+
+    def __init__(
+        self,
+        window: int = 100,
+        percentile: float = 95.0,
+        busy_margin: float = 2.0,
+        busy_slack: float = 0.05,
+        baseline_drift: float = 0.01,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not 0 < percentile <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        if busy_margin < 1.0:
+            raise ValueError(f"busy_margin must be >= 1, got {busy_margin}")
+        if baseline_drift < 0:
+            raise ValueError(f"baseline_drift must be >= 0, got {baseline_drift}")
+        self._window: deque[float] = deque(maxlen=window)
+        self._percentile = percentile
+        self._busy_margin = busy_margin
+        self._busy_slack = busy_slack
+        self._baseline_drift = baseline_drift
+        self._baseline: Optional[float] = None
+        self._recorded = 0
+
+    @property
+    def sample_count(self) -> int:
+        return self._recorded
+
+    @property
+    def baseline(self) -> Optional[float]:
+        """Drifting floor of observed STs: the uncongested constant (alpha).
+
+        A pure all-time minimum is brittle — one lucky sample would lower
+        the busy threshold forever — so the floor creeps upward by
+        ``baseline_drift`` per sample until a new low anchors it again.
+        A replica whose environment really did get permanently slower
+        therefore re-learns its alpha instead of reporting busy forever.
+        """
+        return self._baseline
+
+    def record(self, stable_time: float) -> None:
+        """Add a new ST sample (the window slides, Fig. 4)."""
+        if stable_time < 0:
+            raise ValueError(f"stable time must be >= 0, got {stable_time}")
+        self._window.append(stable_time)
+        self._recorded += 1
+        if self._baseline is None:
+            self._baseline = stable_time
+        else:
+            self._baseline = min(
+                stable_time, self._baseline * (1.0 + self._baseline_drift)
+            )
+
+    def estimate(self) -> Optional[float]:
+        """Current ST estimate: the n-th percentile over the window."""
+        if not self._window:
+            return None
+        ordered = sorted(self._window)
+        # Nearest-rank percentile (ceil convention).
+        rank = max(0, math.ceil(len(ordered) * self._percentile / 100.0) - 1)
+        return ordered[rank]
+
+    def is_busy(self) -> bool:
+        """IsBusy() in Algorithm 4.
+
+        A replica with too few samples is never busy — it has not pushed
+        enough to be congested, and declaring cold replicas busy would
+        stop them from ever volunteering capacity.
+        """
+        if self._recorded < _MIN_SAMPLES or self._baseline is None:
+            return False
+        estimate = self.estimate()
+        if estimate is None:
+            return False
+        threshold = self._busy_margin * self._baseline + self._busy_slack
+        return estimate > threshold
+
+    def load_status(self) -> Optional[float]:
+        """GetLoadStatus() in Algorithm 4.
+
+        Returns the ST estimate (smaller means more spare capacity), or
+        ``None`` when busy — a busy replica must not advertise itself as
+        a proxy. Replicas without samples report 0.0: a cold replica has
+        maximal spare dissemination capacity.
+        """
+        if self.is_busy():
+            return None
+        estimate = self.estimate()
+        if estimate is None:
+            return 0.0
+        return estimate

@@ -1,0 +1,228 @@
+"""The Stratus shared mempool (Algorithm 3).
+
+Bookkeeping mirrors the paper: ``mbMap`` is the microblock store,
+``pMap`` maps microblock ids to availability proofs, and ``avaQue``
+queues provably-available ids for proposal. A proposal built by
+:meth:`StratusMempool.make_payload` carries each referenced id *with its
+proof*; a replica that verifies those proofs can vote immediately —
+missing bodies are fetched from proof signers over the data channel
+without blocking consensus (Solution-I). Load balancing (Solution-II) is
+delegated to :class:`repro.mempool.stratus.dlb.LoadBalancer`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.config import ProtocolConfig
+from repro.crypto import AvailabilityProof, verify_availability_proof
+from repro.mempool.base import Mempool, MessageKinds, OnFull, OnReady
+from repro.mempool.batching import MicroBlockBatcher
+from repro.mempool.fetching import FetchManager
+from repro.mempool.store import MicroBlockStore
+from repro.mempool.stratus.dlb import LoadBalancer
+from repro.mempool.stratus.estimator import StableTimeEstimator
+from repro.mempool.stratus.pab import PabEngine
+from repro.sim.network import Envelope
+from repro.types import TxBatch
+from repro.types.microblock import MicroBlock, MicroBlockId
+from repro.types.proposal import Block, Payload, PayloadEntry, Proposal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.replica.node import Replica
+
+
+class StratusMempool(Mempool):
+    """Shared mempool with PAB availability proofs and DLB (S-HS, S-SL)."""
+
+    name = "stratus"
+
+    def __init__(self, host: "Replica", config: ProtocolConfig) -> None:
+        super().__init__(host, config)
+        self.store = MicroBlockStore()  # mbMap
+        self.fetcher = FetchManager(host, config, self.store)
+        self.estimator = StableTimeEstimator(
+            window=config.estimator_window,
+            percentile=config.estimator_percentile,
+            busy_margin=config.busy_margin,
+            busy_slack=config.busy_slack,
+        )
+        self.pab = PabEngine(
+            host, config, self.store, self.fetcher,
+            on_proof=self._on_remote_proof,
+            on_stable=self._on_stable,
+        )
+        self.balancer = LoadBalancer(
+            host, config, self.estimator, self.pab,
+            on_available=self._on_self_available,
+        )
+        self._batcher = MicroBlockBatcher(host, config, self._on_new_microblock)
+        self._ava_queue: deque[MicroBlockId] = deque()  # avaQue
+        self._proofs: dict[MicroBlockId, AvailabilityProof] = {}  # pMap
+        self._queued: set[MicroBlockId] = set()
+        self._referenced: set[MicroBlockId] = set()
+        self._committed: set[MicroBlockId] = set()
+
+    # -- client / dissemination -------------------------------------------
+
+    def on_client_batch(self, batch: TxBatch) -> None:
+        self._batcher.add(batch)
+
+    def _on_new_microblock(self, microblock: MicroBlock) -> None:
+        self.host.trace(
+            "mb_new", mb=microblock.id, txs=microblock.tx_count,
+        )
+        self.balancer.handle_new_microblock(microblock)
+
+    def _on_stable(self, mb_id: MicroBlockId, elapsed: float) -> None:
+        self.host.trace("mb_stable", mb=mb_id, st=round(elapsed, 6))
+        self.estimator.record(elapsed)
+        self.host.metrics.record_stable_time(elapsed)
+        # A self-push completing means this replica ran the push phase;
+        # broadcast the proof (recovery phase) and queue the id. Forwarded
+        # pushes settle through the LoadBalancer instead.
+
+    def _add_available(
+        self, mb_id: MicroBlockId, proof: AvailabilityProof
+    ) -> None:
+        """Record ``(id, proof)`` in pMap and push the id onto avaQue."""
+        self._proofs[mb_id] = proof
+        if (
+            mb_id not in self._queued
+            and mb_id not in self._referenced
+            and mb_id not in self._committed
+        ):
+            self._queued.add(mb_id)
+            self._ava_queue.append(mb_id)
+
+    def _on_self_available(
+        self, mb_id: MicroBlockId, proof: AvailabilityProof
+    ) -> None:
+        """A PAB instance this replica owns became available.
+
+        Covers both a completed self-push and a settled forward (where the
+        origin takes over recovery): broadcast the proof, then queue.
+        A proof-withholding attacker (Section VIII) suppresses this step,
+        wasting the bandwidth its body broadcast consumed — its own
+        clients' transactions simply never become proposable.
+        """
+        if self.host.behavior.withholds_proofs:
+            return
+        self.pab.broadcast_proof(mb_id, proof)
+        self._add_available(mb_id, proof)
+
+    def _on_remote_proof(
+        self, mb_id: MicroBlockId, proof: AvailabilityProof
+    ) -> None:
+        """A PAB-Proof message arrived (already verified by the engine)."""
+        if self.balancer.on_proof_received(mb_id, proof):
+            return  # settled a forwarded microblock; balancer recovered it
+        self._add_available(mb_id, proof)
+
+    # -- leader side ---------------------------------------------------
+
+    def make_payload(self) -> Payload:
+        """MakeProposal: pull proven ids (with proofs) from avaQue."""
+        entries: list[PayloadEntry] = []
+        limit = self.config.proposal_max_microblocks
+        while self._ava_queue:
+            if limit and len(entries) >= limit:
+                break
+            mb_id = self._ava_queue.popleft()
+            self._queued.discard(mb_id)
+            if mb_id in self._referenced or mb_id in self._committed:
+                continue
+            self._referenced.add(mb_id)
+            entries.append(
+                PayloadEntry(mb_id=mb_id, proof=self._proofs[mb_id])
+            )
+        return Payload(entries=tuple(entries))
+
+    # -- follower side -----------------------------------------------------
+
+    def verify_payload(self, payload: Payload) -> bool:
+        """threshold-verify every proof; failure triggers a view-change."""
+        for entry in payload.entries:
+            if entry.proof is None:
+                return False
+            if not verify_availability_proof(
+                entry.proof, entry.mb_id,
+                self.config.stability_quorum, self.config.n,
+            ):
+                return False
+        return True
+
+    def prepare(self, proposal: Proposal, on_ready: OnReady) -> None:
+        """Valid proofs guarantee availability: enter the commit phase now.
+
+        Missing bodies are fetched from proof signers in the background
+        (FillProposal runs on a thread independent of consensus in the
+        prototype; here, on the data channel via ``resolve``).
+        """
+        for entry in proposal.payload.entries:
+            self._referenced.add(entry.mb_id)
+            if entry.proof is not None:
+                self._proofs.setdefault(entry.mb_id, entry.proof)
+        on_ready()
+
+    def resolve(self, proposal: Proposal, on_full: OnFull) -> None:
+        block = Block(proposal=proposal)
+        entries = proposal.payload.entries
+        if not entries:
+            block.filled_at = self.host.sim.now
+            on_full(block)
+            return
+        remaining = {"count": len(entries)}
+
+        def collect(microblock: MicroBlock) -> None:
+            block.microblocks[microblock.id] = microblock
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                block.filled_at = self.host.sim.now
+                on_full(block)
+
+        for entry in entries:
+            self.store.on_delivery(entry.mb_id, collect)
+            if entry.mb_id not in self.store and entry.proof is not None:
+                self.pab.fetch(entry.mb_id, entry.proof)
+
+    def garbage_collect(self, proposal: Proposal) -> None:
+        """Commit hook (Section VIII): retire the proposal's microblocks.
+
+        Ids are marked committed immediately (they must never re-enter
+        avaQue); bodies and proofs are discarded after the retention
+        window so straggling replicas can still fetch them meanwhile.
+        """
+        ids = list(proposal.payload.microblock_ids)
+        for mb_id in ids:
+            self._committed.add(mb_id)
+        retention = self.config.gc_retention
+        if retention > 0:
+            self.host.sim.schedule(
+                retention, lambda: self._discard_bodies(ids)
+            )
+
+    def _discard_bodies(self, ids: list[MicroBlockId]) -> None:
+        for mb_id in ids:
+            self.store.discard(mb_id)
+            self._proofs.pop(mb_id, None)
+            self.pab.discard(mb_id)
+
+    def on_abandoned(self, proposal: Proposal) -> None:
+        """Re-queue proven ids from a lost fork (SMP-Inclusion)."""
+        for entry in proposal.payload.entries:
+            self._referenced.discard(entry.mb_id)
+            if (
+                entry.mb_id not in self._committed
+                and entry.mb_id in self._proofs
+            ):
+                proof = self._proofs[entry.mb_id]
+                self._add_available(entry.mb_id, proof)
+
+    # -- network -----------------------------------------------------------
+
+    def on_message(self, envelope: Envelope) -> None:
+        if self.balancer.on_message(envelope):
+            return
+        self.pab.on_message(envelope)

@@ -1,0 +1,228 @@
+"""Provably available broadcast (PAB) — Algorithms 1 and 2.
+
+**Push phase.** The pusher broadcasts the microblock body; every receiver
+stores it and returns a signed ack. Once ``q`` distinct acks accumulate
+(the pusher's own counts), the pusher aggregates them into an
+availability proof and reports it via ``on_available``. With
+``q >= f + 1`` at least one ack came from a correct replica, so the body
+is retrievable forever.
+
+**Recovery phase.** Whoever owns the PAB instance broadcasts the proof;
+replicas that verify a proof for a body they lack fetch it from a random
+sample of the proof's signers, retrying every ``delta`` seconds
+(:class:`repro.mempool.fetching.FetchManager`). Recovery traffic stays
+off the consensus critical path: requests ride the control channel and
+the returned bodies ride the data channel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.config import ProtocolConfig
+from repro.crypto import (
+    AvailabilityProof,
+    ProofError,
+    Signature,
+    make_availability_proof,
+    sign,
+    verify_availability_proof,
+)
+from repro.mempool.base import MessageKinds
+from repro.mempool.fetching import FetchManager, sampled_signers
+from repro.mempool.store import MicroBlockStore
+from repro.sim.network import Channel, Envelope
+from repro.types import sizes
+from repro.types.microblock import MicroBlock, MicroBlockId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.replica.node import Replica
+
+OnAvailable = Callable[[MicroBlockId, AvailabilityProof], None]
+OnProof = Callable[[MicroBlockId, AvailabilityProof], None]
+
+
+class _PushState:
+    """Ack bookkeeping for one PAB instance at its pusher."""
+
+    __slots__ = ("microblock", "acks", "started_at", "on_available", "done")
+
+    def __init__(
+        self,
+        microblock: MicroBlock,
+        started_at: float,
+        on_available: OnAvailable,
+    ) -> None:
+        self.microblock = microblock
+        self.acks: list[Signature] = []
+        self.started_at = started_at
+        self.on_available = on_available
+        self.done = False
+
+
+class PabEngine:
+    """One replica's PAB endpoint (pusher, witness, and recoverer roles)."""
+
+    def __init__(
+        self,
+        host: "Replica",
+        config: ProtocolConfig,
+        store: MicroBlockStore,
+        fetcher: FetchManager,
+        on_proof: OnProof,
+        on_stable: Optional[Callable[[MicroBlockId, float], None]] = None,
+    ) -> None:
+        self._host = host
+        self._config = config
+        self._store = store
+        self._fetcher = fetcher
+        self._on_proof = on_proof
+        self._on_stable = on_stable
+        self._pushes: dict[MicroBlockId, _PushState] = {}
+        self._proofs: dict[MicroBlockId, AvailabilityProof] = {}
+
+    # -- pusher role -------------------------------------------------------
+
+    def push(
+        self,
+        microblock: MicroBlock,
+        on_available: OnAvailable,
+        targets: Optional[list[int]] = None,
+    ) -> None:
+        """Start the push phase for ``microblock``.
+
+        ``targets`` defaults to every other replica; Byzantine senders
+        restrict it to mount the censoring attack of Fig. 8. The pusher's
+        own ack is counted immediately (Algorithm 1, quorum includes the
+        sender).
+        """
+        self._store.add(microblock)
+        state = _PushState(microblock, self._host.sim.now, on_available)
+        self._pushes[microblock.id] = state
+        state.acks.append(sign(self._host.node_id, microblock.id))
+        if targets is None:
+            targets = [
+                node for node in range(self._config.n)
+                if node != self._host.node_id
+            ]
+        self._host.network.broadcast(
+            self._host.node_id,
+            MessageKinds.MICROBLOCK,
+            microblock.size_bytes,
+            microblock,
+            recipients=targets,
+        )
+        self._maybe_complete(state)
+
+    def broadcast_proof(self, mb_id: MicroBlockId, proof: AvailabilityProof) -> None:
+        """Start the recovery phase: disseminate the availability proof."""
+        self._proofs[mb_id] = proof
+        self._host.network.broadcast(
+            self._host.node_id,
+            MessageKinds.PROOF,
+            proof.size_bytes,
+            (mb_id, proof),
+            Channel.CONTROL,
+        )
+
+    def proof_for(self, mb_id: MicroBlockId) -> Optional[AvailabilityProof]:
+        return self._proofs.get(mb_id)
+
+    def discard(self, mb_id: MicroBlockId) -> None:
+        """Garbage-collect proof state for a committed microblock."""
+        self._proofs.pop(mb_id, None)
+        self._pushes.pop(mb_id, None)
+
+    def fetch(self, mb_id: MicroBlockId, proof: AvailabilityProof) -> None:
+        """``PAB-Fetch``: retrieve a missing body from the proof's signers.
+
+        The first round is deferred by a grace period: in the normal case
+        the body is still in flight (per-peer FIFO in the prototype means
+        it precedes the proof), and fetching immediately would duplicate
+        the transfer. Recovery uses background bandwidth (Section IV-B).
+        """
+        provider = sampled_signers(
+            self._config, self._host.rng, proof.signers, self._host.node_id
+        )
+        self._fetcher.request(
+            mb_id, provider, delay=self._config.effective_recovery_delay
+        )
+
+    # -- message handling ----------------------------------------------
+
+    def on_message(self, envelope: Envelope) -> bool:
+        """Process PAB traffic; returns False for non-PAB kinds."""
+        kind = envelope.kind
+        if kind in (
+            MessageKinds.MICROBLOCK,
+            MessageKinds.MICROBLOCK_FETCH,
+        ):
+            self._on_body(envelope)
+            return True
+        if kind == MessageKinds.ACK:
+            self._on_ack(envelope)
+            return True
+        if kind == MessageKinds.PROOF:
+            self._on_proof_message(envelope)
+            return True
+        if kind == MessageKinds.FETCH_REQUEST:
+            self._fetcher.handle_request(envelope.src, envelope.payload)
+            return True
+        return False
+
+    def _on_body(self, envelope: Envelope) -> None:
+        microblock: MicroBlock = envelope.payload
+        self._store.add(microblock)
+        if (
+            envelope.kind == MessageKinds.MICROBLOCK
+            and self._host.behavior.acks_microblocks
+        ):
+            # Witness: ack back to the pusher, even for duplicates — a
+            # proxy re-pushing an already-seen body needs its own quorum.
+            self._host.network.send(
+                self._host.node_id,
+                envelope.src,
+                MessageKinds.ACK,
+                sizes.ACK,
+                sign(self._host.node_id, microblock.id),
+                Channel.CONTROL,
+            )
+
+    def _on_ack(self, envelope: Envelope) -> None:
+        ack: Signature = envelope.payload
+        state = self._pushes.get(ack.digest)
+        if state is None or state.done:
+            return
+        state.acks.append(ack)
+        self._maybe_complete(state)
+
+    def _maybe_complete(self, state: _PushState) -> None:
+        quorum = self._config.stability_quorum
+        distinct = {ack.signer for ack in state.acks}
+        if len(distinct) < quorum:
+            return
+        try:
+            proof = make_availability_proof(
+                state.microblock.id, state.acks, quorum, self._config.n
+            )
+        except ProofError:
+            return
+        state.done = True
+        elapsed = self._host.sim.now - state.started_at
+        if self._on_stable is not None:
+            self._on_stable(state.microblock.id, elapsed)
+        del self._pushes[state.microblock.id]
+        state.on_available(state.microblock.id, proof)
+
+    def _on_proof_message(self, envelope: Envelope) -> None:
+        mb_id, proof = envelope.payload
+        if not verify_availability_proof(
+            proof, mb_id, self._config.stability_quorum, self._config.n
+        ):
+            return
+        first_time = mb_id not in self._proofs
+        self._proofs[mb_id] = proof
+        if mb_id not in self._store:
+            self.fetch(mb_id, proof)
+        if first_time:
+            self._on_proof(mb_id, proof)

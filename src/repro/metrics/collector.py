@@ -1,0 +1,152 @@
+"""Run-wide metrics hub.
+
+Commits are deduplicated by block id: the first (earliest simulated time)
+correct replica to commit a block reports it, mirroring the server-side
+measurement in the paper's benchmark. Throughput and latency queries take
+a measurement window so warmup can be excluded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.metrics.digest import WeightedDigest
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class CommitRecord:
+    """One committed block as observed by the first committing replica."""
+
+    block_id: int
+    commit_time: float
+    tx_count: int
+    microblock_count: int
+
+
+class MetricsHub:
+    """Aggregates commits, latencies, and protocol events for one run."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._commits: dict[int, CommitRecord] = {}
+        self._latency = WeightedDigest()
+        self._latency_samples: list[tuple[float, float, float]] = []
+        self._view_changes: list[tuple[float, int, int]] = []
+        self._stable_times = WeightedDigest()
+        self._forwarded_microblocks = 0
+        self._fetches = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record_commit(
+        self,
+        block_id: int,
+        tx_count: int,
+        microblock_count: int,
+        latencies: list[tuple[float, float]],
+        commit_time: Optional[float] = None,
+    ) -> bool:
+        """Record a block commit; returns False on duplicate block ids.
+
+        ``latencies`` holds per-microblock ``(latency_seconds, tx_weight)``
+        pairs computed against the commit time.
+        """
+        if block_id in self._commits:
+            return False
+        when = self._sim.now if commit_time is None else commit_time
+        self._commits[block_id] = CommitRecord(
+            block_id=block_id,
+            commit_time=when,
+            tx_count=tx_count,
+            microblock_count=microblock_count,
+        )
+        for latency, weight in latencies:
+            if weight > 0:
+                self._latency.add(max(0.0, latency), weight)
+                self._latency_samples.append((when, max(0.0, latency), weight))
+        return True
+
+    def record_view_change(self, replica: int, view: int) -> None:
+        self._view_changes.append((self._sim.now, replica, view))
+
+    def record_stable_time(self, seconds: float) -> None:
+        self._stable_times.add(max(0.0, seconds))
+
+    def record_forward(self) -> None:
+        self._forwarded_microblocks += 1
+
+    def record_fetch(self) -> None:
+        self._fetches += 1
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def commits(self) -> list[CommitRecord]:
+        return sorted(self._commits.values(), key=lambda rec: rec.commit_time)
+
+    @property
+    def committed_tx_total(self) -> int:
+        return sum(rec.tx_count for rec in self._commits.values())
+
+    @property
+    def view_change_count(self) -> int:
+        return len(self._view_changes)
+
+    @property
+    def forwarded_microblocks(self) -> int:
+        return self._forwarded_microblocks
+
+    @property
+    def fetch_count(self) -> int:
+        return self._fetches
+
+    def throughput_tps(self, start: float, end: float) -> float:
+        """Committed transactions per second over ``[start, end)``."""
+        if end <= start:
+            raise ValueError(f"bad window [{start}, {end})")
+        txs = sum(
+            rec.tx_count
+            for rec in self._commits.values()
+            if start <= rec.commit_time < end
+        )
+        return txs / (end - start)
+
+    def throughput_series(
+        self, start: float, end: float, bucket: float = 1.0
+    ) -> list[tuple[float, float]]:
+        """Time-bucketed throughput (for the Fig. 7 timeline)."""
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        buckets: dict[int, int] = {}
+        for rec in self._commits.values():
+            if start <= rec.commit_time < end:
+                index = int((rec.commit_time - start) / bucket)
+                buckets[index] = buckets.get(index, 0) + rec.tx_count
+        count = int((end - start) / bucket + 0.5)
+        return [
+            (start + i * bucket, buckets.get(i, 0) / bucket)
+            for i in range(count)
+        ]
+
+    def latency_stats(
+        self, start: float = 0.0, end: float = float("inf")
+    ) -> WeightedDigest:
+        """Latency digest restricted to commits inside the window."""
+        digest = WeightedDigest()
+        for when, latency, weight in self._latency_samples:
+            if start <= when < end:
+                digest.add(latency, weight)
+        return digest
+
+    @property
+    def latency(self) -> WeightedDigest:
+        return self._latency
+
+    @property
+    def stable_times(self) -> WeightedDigest:
+        return self._stable_times
+
+    def view_changes_in(self, start: float, end: float) -> int:
+        return sum(1 for when, _, _ in self._view_changes if start <= when < end)

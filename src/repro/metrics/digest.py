@@ -1,0 +1,70 @@
+"""Weighted sample digest for latency percentiles.
+
+Commit latency is recorded per microblock weighted by its transaction
+count, so percentiles are over *transactions* without materializing one
+sample per transaction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class WeightedDigest:
+    """Collects (value, weight) samples; answers mean and percentiles."""
+
+    def __init__(self) -> None:
+        self._samples: list[tuple[float, float]] = []
+        self._total_weight = 0.0
+        self._weighted_sum = 0.0
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        self._samples.append((value, weight))
+        self._total_weight += weight
+        self._weighted_sum += value * weight
+
+    def extend(self, samples: Iterable[tuple[float, float]]) -> None:
+        for value, weight in samples:
+            self.add(value, weight)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total_weight(self) -> float:
+        return self._total_weight
+
+    @property
+    def mean(self) -> float:
+        if self._total_weight == 0:
+            return 0.0
+        return self._weighted_sum / self._total_weight
+
+    def percentile(self, p: float) -> float:
+        """Weighted percentile, ``p`` in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        target = self._total_weight * (p / 100.0)
+        cumulative = 0.0
+        for value, weight in ordered:
+            cumulative += weight
+            if cumulative >= target:
+                return value
+        return ordered[-1][0]
+
+    @property
+    def max(self) -> float:
+        if not self._samples:
+            return 0.0
+        return max(value for value, _ in self._samples)
+
+    @property
+    def min(self) -> float:
+        if not self._samples:
+            return 0.0
+        return min(value for value, _ in self._samples)

@@ -1,0 +1,21 @@
+"""Replica assembly and fault behaviours."""
+
+from repro.replica.behavior import (
+    Behavior,
+    CensoringSender,
+    HonestBehavior,
+    LyingProxy,
+    ProofWithholder,
+    SilentReplica,
+)
+from repro.replica.node import Replica
+
+__all__ = [
+    "Replica",
+    "Behavior",
+    "HonestBehavior",
+    "SilentReplica",
+    "CensoringSender",
+    "LyingProxy",
+    "ProofWithholder",
+]

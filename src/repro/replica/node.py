@@ -1,0 +1,111 @@
+"""Replica: one node assembling network, mempool, consensus, executor."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, TYPE_CHECKING
+
+from repro.config import ProtocolConfig
+from repro.metrics import MetricsHub
+from repro.replica.behavior import Behavior, HonestBehavior
+from repro.sim.engine import Simulator
+from repro.sim.network import Envelope, Network
+from repro.types import TxBatch
+from repro.types.proposal import Block
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.consensus.base import ConsensusEngine
+    from repro.kvstore import KVStore
+    from repro.mempool.base import Mempool
+
+
+class Replica:
+    """A single BFT replica.
+
+    Construction is two-phase: the replica registers with the network
+    first, then :meth:`attach` wires in the mempool and consensus engine
+    (which need a reference back to the replica).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        config: ProtocolConfig,
+        sim: Simulator,
+        network: Network,
+        rng: random.Random,
+        metrics: MetricsHub,
+        behavior: Optional[Behavior] = None,
+        leader_set: Optional[tuple[int, ...]] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.sim = sim
+        self.network = network
+        self.rng = rng
+        self.metrics = metrics
+        self.behavior = behavior if behavior is not None else HonestBehavior()
+        self.leader_set = (
+            leader_set if leader_set is not None else tuple(range(config.n))
+        )
+        self.mempool: Optional["Mempool"] = None
+        self.consensus: Optional["ConsensusEngine"] = None
+        self.executor: Optional["KVStore"] = None
+        #: Optional protocol-event tracer (see :mod:`repro.tracing`).
+        self.tracer = None
+        self._exec_buffer: dict[int, Block] = {}
+        self._exec_height = 0
+        network.register(node_id, self.handle)
+
+    def attach(
+        self,
+        mempool: "Mempool",
+        consensus: "ConsensusEngine",
+        executor: Optional["KVStore"] = None,
+    ) -> None:
+        self.mempool = mempool
+        self.consensus = consensus
+        self.executor = executor
+
+    # -- event entry points --------------------------------------------
+
+    def start(self) -> None:
+        if self.consensus is None:
+            raise RuntimeError("attach() must be called before start()")
+        self.consensus.start()
+
+    def handle(self, envelope: Envelope) -> None:
+        """Network delivery: route by message-kind prefix."""
+        if envelope.kind.startswith("ce."):
+            self.consensus.on_message(envelope)
+        else:
+            self.mempool.on_message(envelope)
+
+    def on_client_batch(self, batch: TxBatch) -> None:
+        """ReceiveTx entry point for the workload generator."""
+        self.mempool.on_client_batch(batch)
+
+    def on_block_executed(self, block: Block) -> None:
+        """A committed block became full: apply it in height order.
+
+        Blocks can become full out of order (Stratus fills missing bodies
+        in the background), so execution buffers until the chain prefix
+        is contiguous — committed ids may be executed only once their
+        content is available (Section IV-B).
+        """
+        if self.executor is None:
+            return
+        self._exec_buffer[block.proposal.height] = block
+        while self._exec_height + 1 in self._exec_buffer:
+            self._exec_height += 1
+            self.executor.apply_block(self._exec_buffer.pop(self._exec_height))
+
+    def trace(self, kind: str, **details) -> None:
+        """Record a protocol event if a tracer is attached (no-op cost
+        of one attribute check otherwise)."""
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, self.node_id, kind, **details)
+
+    @property
+    def is_byzantine(self) -> bool:
+        return self.node_id in self.config.byzantine

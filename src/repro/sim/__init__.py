@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate.
+
+This package provides the deterministic event loop, seeded RNG streams,
+network links with bandwidth serialization, and topology presets on which
+every protocol in :mod:`repro` runs.
+"""
+
+from repro.sim.engine import Event, Simulator, Timer
+from repro.sim.rng import RngRegistry
+from repro.sim.topology import (
+    DelaySchedule,
+    FluctuationWindow,
+    Topology,
+    geo_topology,
+    lan_topology,
+    wan_topology,
+)
+from repro.sim.network import Channel, Network, NetworkStats
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Timer",
+    "RngRegistry",
+    "Topology",
+    "DelaySchedule",
+    "FluctuationWindow",
+    "lan_topology",
+    "wan_topology",
+    "geo_topology",
+    "Channel",
+    "Network",
+    "NetworkStats",
+]

@@ -1,0 +1,149 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is a classic calendar queue: events are ``(time, sequence,
+callback)`` triples ordered by time with the insertion sequence breaking
+ties, which makes every run fully deterministic for a fixed seed and
+schedule of callbacks.
+
+Protocol code interacts with the engine through three operations:
+
+* :meth:`Simulator.schedule` — run a callback after a delay,
+* :meth:`Simulator.schedule_at` — run a callback at an absolute time,
+* :meth:`Simulator.run` / :meth:`Simulator.run_until` — drive the loop.
+
+Timers (view-change timers, fetch timeouts, proxy timeouts) are cancellable
+via the returned :class:`Timer` handle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven incorrectly."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so the heap pops them in
+    chronological order with FIFO tie-breaking.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Timer:
+    """Cancellable handle for a scheduled event."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def deadline(self) -> float:
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        return not self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.
+
+        Cancelling an already-fired or already-cancelled timer is a no-op,
+        which lets protocol code cancel unconditionally on cleanup paths.
+        """
+        self._event.cancelled = True
+
+
+class Simulator:
+    """Single-threaded deterministic event loop.
+
+    The clock unit is seconds (floats). ``now`` is only advanced by the
+    loop; callbacks must never sleep or block.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:.6f}; now is {self._now:.6f}"
+            )
+        event = Event(time=time, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return Timer(event)
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
+        """Run events with ``time <= end_time``; return the number executed.
+
+        The clock is left at ``end_time`` even if the queue drains early, so
+        back-to-back phases observe a continuous timeline.
+        """
+        if self._running:
+            raise SimulationError("run_until called re-entrantly from a callback")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue and self._queue[0].time <= end_time:
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback()
+                executed += 1
+                self._processed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if not self._queue or self._queue[0].time > end_time:
+            self._now = max(self._now, end_time)
+        return executed
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue is empty (or ``max_events`` is reached)."""
+        return self.run_until(float("inf"), max_events=max_events)
+
+    def drain_cancelled(self) -> None:
+        """Drop cancelled events from the heap (memory hygiene for long runs)."""
+        live = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(live)
+        self._queue = live

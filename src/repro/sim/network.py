@@ -1,0 +1,378 @@
+"""Simulated message-passing network with bandwidth serialization.
+
+The model is deliberately the one under which the paper's Appendix-A
+throughput formulas are exact:
+
+* every replica owns a single egress uplink of finite bandwidth;
+* a message of ``size`` bytes occupies the sender's uplink for
+  ``size * 8 / bandwidth`` seconds (store-and-forward serialization);
+* after serialization, the message experiences the topology's one-way
+  propagation delay and is delivered to the receiver's handler;
+* broadcasting to ``n - 1`` peers serializes ``n - 1`` copies, which is
+  exactly what makes a leader shipping megabyte proposals the bottleneck.
+
+Two egress priority classes implement the paper's "consensus channel /
+data channel" optimization (Section VI): whenever the uplink frees up,
+queued consensus messages (proposals, votes) are transmitted before
+queued data messages (microblocks, acks, fetches). An optional token
+bucket throttles the data class, reproducing the sending-rate limiter.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.topology import Topology, transmission_time
+
+
+class Channel(enum.Enum):
+    """Egress/ingress priority classes (Section VI, "Optimizations").
+
+    CONSENSUS carries proposals and votes; CONTROL carries small protocol
+    messages (acks, proofs, fetch requests, load queries) that must not
+    sit behind bulk transfers; DATA carries microblock bodies. Priority
+    is strict in enum order.
+    """
+
+    CONSENSUS = 0
+    CONTROL = 1
+    DATA = 2
+
+
+@dataclass
+class Envelope:
+    """A network-level message.
+
+    ``payload`` is an arbitrary protocol object; the network only looks at
+    ``size_bytes`` (for serialization time) and ``kind`` (for accounting).
+    """
+
+    src: int
+    dst: int
+    kind: str
+    size_bytes: float
+    payload: object
+    channel: Channel = Channel.DATA
+    enqueued_at: float = 0.0
+
+
+@dataclass
+class NetworkStats:
+    """Per-run accounting used by the Table III bandwidth benches."""
+
+    bytes_sent: dict[tuple[int, str], float] = field(default_factory=dict)
+    messages_sent: dict[str, int] = field(default_factory=dict)
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+
+    def record_send(self, node: int, kind: str, size_bytes: float) -> None:
+        key = (node, kind)
+        self.bytes_sent[key] = self.bytes_sent.get(key, 0.0) + size_bytes
+        self.messages_sent[kind] = self.messages_sent.get(kind, 0) + 1
+
+    def node_bytes(self, node: int, kind: Optional[str] = None) -> float:
+        """Total bytes sent by ``node``, optionally for one message kind."""
+        return sum(
+            size
+            for (sender, sent_kind), size in self.bytes_sent.items()
+            if sender == node and (kind is None or sent_kind == kind)
+        )
+
+    def kind_bytes(self, kind: str) -> float:
+        return sum(
+            size for (_, sent_kind), size in self.bytes_sent.items()
+            if sent_kind == kind
+        )
+
+
+class TokenBucket:
+    """Continuous-time token bucket limiting the data channel's send rate."""
+
+    def __init__(self, rate_bytes_per_s: float, burst_bytes: float) -> None:
+        if rate_bytes_per_s <= 0 or burst_bytes <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = rate_bytes_per_s
+        self.burst = burst_bytes
+        self._tokens = burst_bytes
+        self._updated = 0.0
+
+    def ready_at(self, now: float, size_bytes: float) -> float:
+        """Earliest time the bucket can admit a message of ``size_bytes``."""
+        self._refill(now)
+        if self._tokens >= size_bytes:
+            return now
+        deficit = size_bytes - self._tokens
+        return now + deficit / self.rate
+
+    def consume(self, now: float, size_bytes: float) -> None:
+        self._refill(now)
+        self._tokens -= size_bytes
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+
+class _Uplink:
+    """One replica's egress: two priority FIFOs draining into one wire.
+
+    States: idle (nothing to do), transmitting (wire occupied), or waiting
+    (head-of-line data message blocked by the token bucket). A consensus
+    message arriving during a limiter wait preempts the wait — consensus
+    traffic is never throttled.
+    """
+
+    def __init__(self, node: int, network: "Network") -> None:
+        self.node = node
+        self.network = network
+        self.queues: dict[Channel, deque[Envelope]] = {
+            channel: deque() for channel in Channel
+        }
+        self.transmitting = False
+        self.limiter: Optional[TokenBucket] = None
+        self._wait_timer = None
+
+    def enqueue(self, envelope: Envelope) -> None:
+        channel = (
+            envelope.channel
+            if self.network.priority_channels else Channel.DATA
+        )
+        self.queues[channel].append(envelope)
+        if self.transmitting:
+            return
+        if self._wait_timer is not None:
+            if channel is not Channel.DATA:
+                self._wait_timer.cancel()
+                self._wait_timer = None
+                self._start_next()
+            return
+        self._start_next()
+
+    def queued_bytes(self, channel: Optional[Channel] = None) -> float:
+        channels = [channel] if channel else list(Channel)
+        return sum(
+            env.size_bytes for ch in channels for env in self.queues[ch]
+        )
+
+    def _start_next(self) -> None:
+        if self.transmitting:
+            return
+        sim = self.network.sim
+        envelope: Optional[Envelope] = None
+        for channel in (Channel.CONSENSUS, Channel.CONTROL):
+            if self.queues[channel]:
+                envelope = self.queues[channel].popleft()
+                break
+        if envelope is None and self.queues[Channel.DATA]:
+            head = self.queues[Channel.DATA][0]
+            if self.limiter is not None:
+                ready = self.limiter.ready_at(sim.now, head.size_bytes)
+                if ready > sim.now:
+                    self._wait_timer = sim.schedule(
+                        ready - sim.now, self._resume
+                    )
+                    return
+                self.limiter.consume(sim.now, head.size_bytes)
+            envelope = self.queues[Channel.DATA].popleft()
+        if envelope is None:
+            return
+        self.transmitting = True
+        bandwidth = self.network.topology.bandwidth(self.node, now=sim.now)
+        duration = transmission_time(envelope.size_bytes, bandwidth)
+        sim.schedule(duration, lambda: self._finish(envelope))
+
+    def _resume(self) -> None:
+        self._wait_timer = None
+        self._start_next()
+
+    def _finish(self, envelope: Envelope) -> None:
+        self.network._propagate(envelope)
+        self.transmitting = False
+        self._start_next()
+
+
+class _Ingress:
+    """Receive-side processing queue: one CPU draining two priority FIFOs.
+
+    Each arriving message costs ``proc_per_message`` seconds of handler
+    time (signature verification and dispatch). Consensus messages are
+    processed before data messages, implementing the paper's
+    "consensus channel has higher priority" processing rule on the
+    receive side.
+    """
+
+    def __init__(self, node: int, network: "Network") -> None:
+        self.node = node
+        self.network = network
+        self.queues: dict[Channel, deque[Envelope]] = {
+            channel: deque() for channel in Channel
+        }
+        self.busy = False
+
+    def accept(self, envelope: Envelope) -> None:
+        channel = (
+            envelope.channel
+            if self.network.priority_channels else Channel.DATA
+        )
+        self.queues[channel].append(envelope)
+        if not self.busy:
+            self._process_next()
+
+    def _process_next(self) -> None:
+        envelope: Optional[Envelope] = None
+        for channel in Channel:
+            if self.queues[channel]:
+                envelope = self.queues[channel].popleft()
+                break
+        if envelope is None:
+            return
+        self.busy = True
+        cost = self.network.topology.proc_per_message
+        self.network.sim.schedule(cost, lambda: self._finish(envelope))
+
+    def _finish(self, envelope: Envelope) -> None:
+        self.network._dispatch(envelope)
+        self.busy = False
+        self._process_next()
+
+
+Handler = Callable[[Envelope], None]
+DropFilter = Callable[[Envelope], bool]
+
+
+class Network:
+    """Message router connecting all replicas over a :class:`Topology`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        rng: RngRegistry,
+        priority_channels: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        #: When False, every message shares one FIFO class — ablates the
+        #: paper's "consensus channel first" optimization (Section VI).
+        self.priority_channels = priority_channels
+        self.stats = NetworkStats()
+        self._rng = rng.stream("network.jitter")
+        self._handlers: dict[int, Handler] = {}
+        self._uplinks = [_Uplink(node, self) for node in range(topology.n)]
+        self._ingress = [_Ingress(node, self) for node in range(topology.n)]
+        self._drop_filter: Optional[DropFilter] = None
+
+    # -- wiring ------------------------------------------------------------
+
+    def register(self, node: int, handler: Handler) -> None:
+        """Attach the message handler for ``node``."""
+        if node in self._handlers:
+            raise ValueError(f"node {node} already registered")
+        self._handlers[node] = handler
+
+    def set_drop_filter(self, drop_filter: Optional[DropFilter]) -> None:
+        """Install a predicate that silently drops matching envelopes.
+
+        Used by fault-injection tests (message loss, partitions). The
+        filter runs at delivery time, after bandwidth was consumed, which
+        matches a real network where loss wastes the sender's uplink.
+        """
+        self._drop_filter = drop_filter
+
+    def set_data_limiter(
+        self, node: int, rate_bytes_per_s: float, burst_bytes: float
+    ) -> None:
+        """Enable the token-bucket limiter on ``node``'s data channel."""
+        self._uplinks[node].limiter = TokenBucket(rate_bytes_per_s, burst_bytes)
+
+    # -- sending -----------------------------------------------------------
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        size_bytes: float,
+        payload: object,
+        channel: Channel = Channel.DATA,
+    ) -> None:
+        """Queue one message for serialization on ``src``'s uplink."""
+        if dst == src:
+            # Loopback: no bandwidth cost, delivered on the next event.
+            envelope = Envelope(src, dst, kind, 0.0, payload, channel, self.sim.now)
+            self.sim.schedule(0.0, lambda: self._deliver(envelope))
+            return
+        if src not in self._handlers or dst not in self._handlers:
+            raise ValueError(f"send between unregistered nodes {src}->{dst}")
+        envelope = Envelope(
+            src, dst, kind, size_bytes, payload, channel, self.sim.now
+        )
+        self._uplinks[src].enqueue(envelope)
+
+    def broadcast(
+        self,
+        src: int,
+        kind: str,
+        size_bytes: float,
+        payload: object,
+        channel: Channel = Channel.DATA,
+        recipients: Optional[list[int]] = None,
+        include_self: bool = False,
+    ) -> None:
+        """Send one copy per recipient (defaults to every other replica).
+
+        Each copy is serialized separately through the sender's uplink —
+        there is no link-layer multicast, mirroring TCP fan-out.
+        """
+        if recipients is None:
+            recipients = [
+                node for node in range(self.topology.n) if node != src
+            ]
+        for dst in recipients:
+            if dst == src and not include_self:
+                continue
+            self.send(src, dst, kind, size_bytes, payload, channel)
+        if include_self and src not in recipients:
+            self.send(src, src, kind, size_bytes, payload, channel)
+
+    def queued_bytes(self, node: int, channel: Optional[Channel] = None) -> float:
+        """Bytes currently waiting in ``node``'s egress queues."""
+        return self._uplinks[node].queued_bytes(channel)
+
+    # -- internal ----------------------------------------------------------
+
+    def _propagate(self, envelope: Envelope) -> None:
+        # Bandwidth accounting happens here — after serialization — so
+        # reported Mbps reflects bytes actually pushed through the uplink,
+        # not bytes sitting in a backlog.
+        self.stats.record_send(envelope.src, envelope.kind, envelope.size_bytes)
+        delay = self.topology.delay(
+            envelope.src, envelope.dst, self.sim.now, self._rng
+        )
+        self.sim.schedule(delay, lambda: self._deliver(envelope))
+
+    def _deliver(self, envelope: Envelope) -> None:
+        if self._drop_filter is not None and self._drop_filter(envelope):
+            self.stats.messages_dropped += 1
+            return
+        if envelope.dst not in self._handlers:
+            self.stats.messages_dropped += 1
+            return
+        if self.topology.proc_per_message > 0 and envelope.src != envelope.dst:
+            self._ingress[envelope.dst].accept(envelope)
+        else:
+            self._dispatch(envelope)
+
+    def _dispatch(self, envelope: Envelope) -> None:
+        handler = self._handlers.get(envelope.dst)
+        if handler is None:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        handler(envelope)

@@ -1,0 +1,309 @@
+"""Network topologies: delay matrices, bandwidth maps, delay schedules.
+
+Two presets mirror the paper's testbeds (Section VII-A):
+
+* :func:`lan_topology` — "national" deployment: 1 Gb/s per replica,
+  inter-replica RTT under 10 ms.
+* :func:`wan_topology` — "regional" deployment emulated with NetEm:
+  100 Mb/s per replica, 100 ms inter-replica RTT.
+
+A :class:`DelaySchedule` layers time-varying extra delay on top of the
+base matrix; :class:`FluctuationWindow` reproduces the Fig. 7 experiment
+(a 10 s window during which every message sees 200 ms base + 100 ms
+uniform jitter instead of the normal link delay).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import random
+
+GBPS = 1_000_000_000
+MBPS = 1_000_000
+
+
+class DelaySchedule:
+    """Time-varying network disturbance applied to all links.
+
+    ``sample(now, rng)`` returns ``None`` when the schedule is inactive
+    (base topology delay applies) or an absolute one-way delay in seconds
+    when it is active. ``bandwidth_factor(now)`` scales effective link
+    bandwidth (1.0 = unaffected).
+    """
+
+    def sample(self, now: float, rng: random.Random) -> Optional[float]:
+        raise NotImplementedError
+
+    def bandwidth_factor(self, now: float) -> float:
+        return 1.0
+
+
+@dataclass
+class FluctuationWindow(DelaySchedule):
+    """Uniform-jitter delay window, as injected via NetEm in Fig. 7.
+
+    During ``[start, start + duration)`` each message experiences a one-way
+    delay drawn uniformly from ``[base - jitter, base + jitter]``. The
+    paper describes the round-trip fluctuating between 100 ms and 300 ms
+    ("200 ms base with 100 ms uniform jitter"); one-way figures are half.
+
+    ``throughput_factor`` models what heavy jitter does to TCP bulk
+    transfers: reordering is mistaken for loss, so the goodput of large
+    flows collapses while small control messages still get through. The
+    prototype runs over TCP, so the simulation scales effective link
+    bandwidth by this factor inside the window (a documented substitution
+    for full TCP dynamics; see DESIGN.md).
+    """
+
+    start: float
+    duration: float
+    base: float
+    jitter: float
+    throughput_factor: float = 1.0
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.start + self.duration
+
+    def sample(self, now: float, rng: random.Random) -> Optional[float]:
+        if self.active(now):
+            return max(0.0, self.base + rng.uniform(-self.jitter, self.jitter))
+        return None
+
+    def bandwidth_factor(self, now: float) -> float:
+        return self.throughput_factor if self.active(now) else 1.0
+
+
+class Topology:
+    """Static delay/bandwidth description of a replica network.
+
+    Parameters
+    ----------
+    n:
+        Number of replicas.
+    one_way_delay:
+        Base one-way propagation delay in seconds between distinct
+        replicas (RTT / 2).
+    bandwidth_bps:
+        Default egress bandwidth in bits per second for every replica.
+    delay_jitter:
+        Half-width of the uniform jitter applied to each message's
+        propagation delay in the normal case (small for private networks,
+        per Appendix B).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        one_way_delay: float,
+        bandwidth_bps: float,
+        delay_jitter: float = 0.0,
+        name: str = "custom",
+        proc_per_message: float = 0.0,
+    ) -> None:
+        if n <= 0:
+            raise ValueError(f"topology needs at least one node, got n={n}")
+        if one_way_delay < 0 or bandwidth_bps <= 0:
+            raise ValueError("delay must be >= 0 and bandwidth > 0")
+        if proc_per_message < 0:
+            raise ValueError("proc_per_message must be >= 0")
+        self.n = n
+        self.name = name
+        #: Receive-side CPU cost per message (handler + signature checks).
+        #: This is what makes O(n^2)-message protocols (reliable broadcast,
+        #: all-to-all voting) processing-bound at scale, as the paper's
+        #: Narwhal discussion describes.
+        self.proc_per_message = proc_per_message
+        self._base_delay = one_way_delay
+        self._jitter = delay_jitter
+        self._default_bandwidth = float(bandwidth_bps)
+        self._bandwidth_overrides: dict[int, float] = {}
+        self._delay_overrides: dict[tuple[int, int], float] = {}
+        self._schedules: list[DelaySchedule] = []
+
+    # -- configuration ----------------------------------------------------
+
+    def set_bandwidth(self, node: int, bandwidth_bps: float) -> None:
+        """Give ``node`` a non-default egress bandwidth (heterogeneity)."""
+        self._check_node(node)
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        self._bandwidth_overrides[node] = float(bandwidth_bps)
+
+    def set_link_delay(self, src: int, dst: int, one_way_delay: float) -> None:
+        """Override the base delay of one directed link."""
+        self._check_node(src)
+        self._check_node(dst)
+        if one_way_delay < 0:
+            raise ValueError("delay must be >= 0")
+        self._delay_overrides[(src, dst)] = one_way_delay
+
+    def add_schedule(self, schedule: DelaySchedule) -> None:
+        """Layer a time-varying delay schedule over every link."""
+        self._schedules.append(schedule)
+
+    # -- queries -----------------------------------------------------------
+
+    def bandwidth(self, node: int, now: Optional[float] = None) -> float:
+        """Egress bandwidth of ``node`` in bits per second.
+
+        When ``now`` is given, active delay schedules may scale the
+        effective bandwidth (TCP goodput collapse under heavy jitter).
+        """
+        self._check_node(node)
+        base = self._bandwidth_overrides.get(node, self._default_bandwidth)
+        if now is not None:
+            for schedule in self._schedules:
+                base *= schedule.bandwidth_factor(now)
+        return max(base, 1.0)
+
+    def base_delay(self, src: int, dst: int) -> float:
+        """Base one-way delay of the (src, dst) link, before jitter."""
+        self._check_node(src)
+        self._check_node(dst)
+        if src == dst:
+            return 0.0
+        return self._delay_overrides.get((src, dst), self._base_delay)
+
+    def delay(self, src: int, dst: int, now: float, rng: random.Random) -> float:
+        """One-way delay for a message sent now on the (src, dst) link.
+
+        Active delay schedules take precedence over the base matrix, which
+        models a network-wide disturbance (the Fig. 7 NetEm window).
+        """
+        for schedule in self._schedules:
+            sampled = schedule.sample(now, rng)
+            if sampled is not None:
+                return sampled
+        base = self.base_delay(src, dst)
+        if self._jitter > 0 and src != dst:
+            base = max(0.0, base + rng.uniform(-self._jitter, self._jitter))
+        return base
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n:
+            raise ValueError(f"node {node} outside [0, {self.n})")
+
+
+#: Default receive-side processing cost: dominated by verifying the
+#: signature on each small control message (ECDSA verify is tens of
+#: microseconds in Go, the prototype's language).
+DEFAULT_PROC_PER_MESSAGE = 50e-6
+
+
+def lan_topology(
+    n: int,
+    bandwidth_bps: float = GBPS,
+    proc_per_message: float = DEFAULT_PROC_PER_MESSAGE,
+) -> Topology:
+    """The paper's LAN testbed: 1 Gb/s, RTT < 10 ms (we use 2 ms one-way)."""
+    return Topology(
+        n,
+        one_way_delay=0.002,
+        bandwidth_bps=bandwidth_bps,
+        delay_jitter=0.0005,
+        name="lan",
+        proc_per_message=proc_per_message,
+    )
+
+
+def wan_topology(
+    n: int,
+    bandwidth_bps: float = 100 * MBPS,
+    proc_per_message: float = DEFAULT_PROC_PER_MESSAGE,
+) -> Topology:
+    """The paper's emulated WAN: 100 Mb/s, 100 ms RTT (50 ms one-way)."""
+    return Topology(
+        n,
+        one_way_delay=0.050,
+        bandwidth_bps=bandwidth_bps,
+        delay_jitter=0.002,
+        name="wan",
+        proc_per_message=proc_per_message,
+    )
+
+
+def heterogeneous_topology(
+    n: int,
+    bandwidths_bps: Sequence[float],
+    one_way_delay: float = 0.050,
+    name: str = "hetero",
+) -> Topology:
+    """Topology with per-replica bandwidths (unbalanced capacity studies)."""
+    if len(bandwidths_bps) != n:
+        raise ValueError(
+            f"need {n} bandwidth entries, got {len(bandwidths_bps)}"
+        )
+    topo = Topology(n, one_way_delay, max(bandwidths_bps), name=name)
+    for node, bandwidth in enumerate(bandwidths_bps):
+        topo.set_bandwidth(node, bandwidth)
+    return topo
+
+
+#: Approximate one-way inter-region delays (seconds) between the four
+#: Alibaba Cloud regions the paper probes in Appendix B: Singapore (SG),
+#: Sydney (SN), Virginia (VG), London (LD). Derived from typical
+#: backbone RTTs; intra-region traffic uses a LAN-like delay.
+GEO_REGIONS = ("SG", "SN", "VG", "LD")
+GEO_ONE_WAY_DELAYS = {
+    ("SG", "SG"): 0.001, ("SN", "SN"): 0.001,
+    ("VG", "VG"): 0.001, ("LD", "LD"): 0.001,
+    ("SG", "SN"): 0.045, ("SG", "VG"): 0.110, ("SG", "LD"): 0.085,
+    ("SN", "VG"): 0.100, ("SN", "LD"): 0.140, ("VG", "LD"): 0.038,
+}
+
+
+def geo_topology(
+    n: int,
+    bandwidth_bps: float = 100 * MBPS,
+    regions: Sequence[str] = GEO_REGIONS,
+    assignment: Optional[Sequence[str]] = None,
+    proc_per_message: float = DEFAULT_PROC_PER_MESSAGE,
+) -> Topology:
+    """Multi-region WAN with per-pair inter-datacenter delays.
+
+    Replicas are assigned to regions round-robin unless ``assignment``
+    names a region per replica. Link delays come from the Appendix-B
+    style pairwise matrix (stable backbone delays), with small jitter.
+    """
+    if assignment is not None and len(assignment) != n:
+        raise ValueError(
+            f"assignment names {len(assignment)} regions for {n} replicas"
+        )
+    placement = (
+        list(assignment)
+        if assignment is not None
+        else [regions[node % len(regions)] for node in range(n)]
+    )
+    unknown = set(placement) - set(GEO_REGIONS)
+    if unknown:
+        raise ValueError(f"unknown regions: {sorted(unknown)}")
+    topo = Topology(
+        n,
+        one_way_delay=0.050,  # fallback; every pair is overridden below
+        bandwidth_bps=bandwidth_bps,
+        delay_jitter=0.002,
+        name="geo",
+        proc_per_message=proc_per_message,
+    )
+    for src in range(n):
+        for dst in range(n):
+            if src == dst:
+                continue
+            pair = (placement[src], placement[dst])
+            if pair not in GEO_ONE_WAY_DELAYS:
+                pair = (pair[1], pair[0])
+            topo.set_link_delay(src, dst, GEO_ONE_WAY_DELAYS[pair])
+    topo.regions = list(placement)
+    return topo
+
+
+def transmission_time(size_bytes: float, bandwidth_bps: float) -> float:
+    """Seconds to push ``size_bytes`` through a ``bandwidth_bps`` uplink."""
+    if bandwidth_bps <= 0:
+        raise ValueError("bandwidth must be positive")
+    if size_bytes < 0 or math.isnan(size_bytes):
+        raise ValueError(f"invalid message size: {size_bytes}")
+    return (size_bytes * 8.0) / bandwidth_bps

@@ -1,0 +1,36 @@
+"""Client transaction batches.
+
+A :class:`TxBatch` is the unit in which the workload generator hands
+transactions to a replica: ``count`` transactions of ``payload_bytes``
+each, arriving around ``mean_arrival``. Batches are merged into
+microblocks; per-transaction objects are never created.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TxBatch:
+    """A group of client transactions delivered to one replica."""
+
+    count: int
+    payload_bytes: int
+    mean_arrival: float
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"batch must contain transactions, got {self.count}")
+        if self.payload_bytes <= 0:
+            raise ValueError(
+                f"payload must be positive, got {self.payload_bytes}"
+            )
+
+    @property
+    def total_bytes(self) -> int:
+        return self.count * self.payload_bytes
+
+    @property
+    def sum_arrival(self) -> float:
+        return self.count * self.mean_arrival

@@ -1,0 +1,126 @@
+"""Proposals and blocks (Section III-D).
+
+A *proposal* is what the leader broadcasts: consensus metadata plus a
+payload. The payload comes in three flavors matching the evaluated
+protocol families:
+
+* **embedded** — full transaction data inside the proposal (native
+  mempool: N-HS, N-SL);
+* **id list** — microblock ids only (simple/gossip/Narwhal SMP);
+* **proven id list** — microblock ids each carrying an availability
+  proof (Stratus).
+
+A *block* is a proposal whose referenced microblocks have all been
+resolved locally ("full block"); until then it is a partial block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.types import sizes
+from repro.types.microblock import MicroBlock, MicroBlockId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.crypto.certificates import QuorumCert
+    from repro.crypto.proofs import AvailabilityProof
+
+
+@dataclass(frozen=True)
+class PayloadEntry:
+    """One microblock reference inside a proposal, optionally with proof."""
+
+    mb_id: MicroBlockId
+    proof: Optional["AvailabilityProof"] = None
+
+    @property
+    def size_bytes(self) -> int:
+        size = sizes.MICROBLOCK_ID
+        if self.proof is not None:
+            size += self.proof.size_bytes
+        return size
+
+
+@dataclass
+class Payload:
+    """Proposal payload: referenced entries and/or embedded microblocks."""
+
+    entries: tuple[PayloadEntry, ...] = ()
+    embedded: tuple[MicroBlock, ...] = ()
+
+    @property
+    def size_bytes(self) -> int:
+        referenced = sum(entry.size_bytes for entry in self.entries)
+        full = sum(mb.size_bytes for mb in self.embedded)
+        return referenced + full
+
+    @property
+    def microblock_ids(self) -> tuple[MicroBlockId, ...]:
+        if self.embedded:
+            return tuple(mb.id for mb in self.embedded)
+        return tuple(entry.mb_id for entry in self.entries)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.entries and not self.embedded
+
+
+def make_block_id(proposer: int, counter: int) -> int:
+    """Deterministic unique block id, offset to avoid genesis (0)."""
+    return ((proposer + 1) << 40) | counter
+
+
+@dataclass
+class Proposal:
+    """Leader's proposal for one consensus slot."""
+
+    block_id: int
+    view: int
+    height: int
+    proposer: int
+    parent_id: int
+    justify: "QuorumCert"
+    payload: Payload
+    created_at: float = 0.0
+
+    @property
+    def size_bytes(self) -> float:
+        return (
+            sizes.PROPOSAL_HEADER
+            + self.justify.size_bytes
+            + self.payload.size_bytes
+        )
+
+
+@dataclass
+class Block:
+    """A proposal plus resolved microblocks; ``is_full`` gates execution."""
+
+    proposal: Proposal
+    microblocks: dict[MicroBlockId, MicroBlock] = field(default_factory=dict)
+    committed_at: Optional[float] = None
+    filled_at: Optional[float] = None
+
+    @property
+    def block_id(self) -> int:
+        return self.proposal.block_id
+
+    @property
+    def is_full(self) -> bool:
+        return all(
+            mb_id in self.microblocks
+            for mb_id in self.proposal.payload.microblock_ids
+        )
+
+    @property
+    def missing_ids(self) -> list[MicroBlockId]:
+        return [
+            mb_id
+            for mb_id in self.proposal.payload.microblock_ids
+            if mb_id not in self.microblocks
+        ]
+
+    @property
+    def tx_count(self) -> int:
+        return sum(mb.tx_count for mb in self.microblocks.values())

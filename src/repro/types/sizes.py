@@ -1,0 +1,62 @@
+"""Wire-size constants (bytes) used for bandwidth accounting.
+
+The values follow the paper's setting: 128-byte transaction payloads,
+~100-byte consensus messages (votes, acks), 32-byte ids/hashes, and
+64-byte ECDSA signatures (the prototype concatenates f+1 ECDSA signatures
+instead of using threshold signatures; we model proof size accordingly).
+"""
+
+from __future__ import annotations
+
+TX_PAYLOAD_DEFAULT = 128
+"""Default transaction payload in bytes (Section VII-A)."""
+
+HASH = 32
+"""Size of a hash / id (SHA-256)."""
+
+SIGNATURE = 64
+"""Size of one ECDSA signature."""
+
+MICROBLOCK_ID = HASH
+"""A microblock id is a hash over its transaction ids."""
+
+MICROBLOCK_HEADER = HASH + 8 + 8 + SIGNATURE
+"""id + origin + tx count + sender signature."""
+
+PROPOSAL_HEADER = HASH + HASH + 8 + 8 + SIGNATURE
+"""previous-block hash + payload root hash + view + height + signature."""
+
+VOTE = 100
+"""Consensus vote message (signature share + block id + view)."""
+
+ACK = 100
+"""PAB-Ack message (signature over microblock id)."""
+
+NEW_VIEW = 200
+"""Pacemaker timeout / new-view message (carries highest QC)."""
+
+FETCH_REQUEST = 48
+"""PAB-Request / missing-microblock fetch request (id + requester)."""
+
+LB_QUERY = 48
+"""DLB load-status query."""
+
+LB_INFO = 56
+"""DLB load-status reply (status + id)."""
+
+QC = 3 * HASH + 8
+"""Aggregated quorum certificate carried inside proposals."""
+
+
+def microblock_bytes(tx_count: int, tx_payload: int = TX_PAYLOAD_DEFAULT) -> int:
+    """Total wire size of a microblock carrying ``tx_count`` transactions."""
+    if tx_count < 0:
+        raise ValueError(f"tx_count must be >= 0, got {tx_count}")
+    return MICROBLOCK_HEADER + tx_count * tx_payload
+
+
+def availability_proof_bytes(quorum: int) -> int:
+    """Wire size of an availability proof: ``quorum`` concatenated sigs."""
+    if quorum <= 0:
+        raise ValueError(f"quorum must be positive, got {quorum}")
+    return quorum * SIGNATURE + MICROBLOCK_ID

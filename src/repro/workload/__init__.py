@@ -1,0 +1,11 @@
+"""Client workload generation: arrival processes and replica selection."""
+
+from repro.workload.zipf import ZipfSelector, UniformSelector, zipf_weights
+from repro.workload.generator import WorkloadGenerator
+
+__all__ = [
+    "WorkloadGenerator",
+    "ZipfSelector",
+    "UniformSelector",
+    "zipf_weights",
+]

@@ -1,0 +1,56 @@
+"""Client-to-replica assignment distributions.
+
+The paper's unbalanced-workload experiments use the Golang Zipf
+generator (``math/rand.Zipf``) with parameters ``s`` (skew) and ``v``
+(value offset): replica ``k`` receives load proportional to
+``(v + k) ** -s``. ``Zipf1`` (s=1.01, v=1) is highly skewed — the first
+replica absorbs a large share — while ``Zipf10`` (s=1.01, v=10) is
+lightly skewed (Fig. 9).
+"""
+
+from __future__ import annotations
+
+
+def zipf_weights(n: int, s: float, v: float) -> list[float]:
+    """Unnormalized Golang-Zipf probabilities for ranks ``0..n-1``."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if s <= 1.0:
+        raise ValueError(f"Zipf requires s > 1, got {s}")
+    if v < 1.0:
+        raise ValueError(f"Zipf requires v >= 1, got {v}")
+    return [(v + rank) ** (-s) for rank in range(n)]
+
+
+class UniformSelector:
+    """Every replica receives an equal share of the client load."""
+
+    name = "uniform"
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        self.n = n
+
+    def shares(self) -> list[float]:
+        return [1.0 / self.n] * self.n
+
+
+class ZipfSelector:
+    """Zipfian load shares across replicas (most-loaded first)."""
+
+    name = "zipf"
+
+    def __init__(self, n: int, s: float = 1.01, v: float = 1.0) -> None:
+        self.n = n
+        self.s = s
+        self.v = v
+        weights = zipf_weights(n, s, v)
+        total = sum(weights)
+        self._shares = [weight / total for weight in weights]
+
+    def shares(self) -> list[float]:
+        return list(self._shares)
+
+    def share_of(self, rank: int) -> float:
+        return self._shares[rank]

@@ -1,0 +1,87 @@
+"""Unit tests for ProtocolConfig validation and derived quantities."""
+
+import pytest
+
+from repro.config import ProtocolConfig
+
+
+def test_f_derivation():
+    assert ProtocolConfig(n=4).f == 1
+    assert ProtocolConfig(n=7).f == 2
+    assert ProtocolConfig(n=100).f == 33
+    assert ProtocolConfig(n=128).f == 42
+
+
+def test_consensus_quorum_is_2f_plus_1():
+    config = ProtocolConfig(n=100)
+    assert config.consensus_quorum == 67
+
+
+def test_stability_quorum_defaults_to_f_plus_1():
+    config = ProtocolConfig(n=100)
+    assert config.stability_quorum == 34
+
+
+def test_stability_quorum_override():
+    config = ProtocolConfig(n=100, pab_quorum=67)
+    assert config.stability_quorum == 67
+
+
+def test_pab_quorum_bounds_enforced():
+    with pytest.raises(ValueError):
+        ProtocolConfig(n=100, pab_quorum=33)  # below f+1
+    with pytest.raises(ValueError):
+        ProtocolConfig(n=100, pab_quorum=68)  # above 2f+1
+    ProtocolConfig(n=100, pab_quorum=34)
+    ProtocolConfig(n=100, pab_quorum=67)
+
+
+def test_small_networks_rejected():
+    with pytest.raises(ValueError):
+        ProtocolConfig(n=3)
+
+
+def test_unknown_mempool_rejected():
+    with pytest.raises(ValueError):
+        ProtocolConfig(n=4, mempool="dag")
+
+
+def test_unknown_consensus_rejected():
+    with pytest.raises(ValueError):
+        ProtocolConfig(n=4, consensus="raft")
+
+
+def test_txs_per_microblock():
+    config = ProtocolConfig(n=4, batch_bytes=128 * 1024, tx_payload=128)
+    assert config.txs_per_microblock == 1024
+
+
+def test_txs_per_microblock_at_least_one():
+    config = ProtocolConfig(n=4, batch_bytes=10, tx_payload=128)
+    assert config.txs_per_microblock == 1
+
+
+def test_byzantine_bounded_by_f():
+    ProtocolConfig(n=4, byzantine=frozenset({3}))
+    with pytest.raises(ValueError):
+        ProtocolConfig(n=4, byzantine=frozenset({2, 3}))
+
+
+def test_lb_samples_validated():
+    with pytest.raises(ValueError):
+        ProtocolConfig(n=4, lb_samples=0)
+
+
+def test_fetch_sample_fraction_validated():
+    with pytest.raises(ValueError):
+        ProtocolConfig(n=4, fetch_sample_fraction=0.0)
+    with pytest.raises(ValueError):
+        ProtocolConfig(n=4, fetch_sample_fraction=1.5)
+
+
+def test_with_updates_returns_modified_copy():
+    config = ProtocolConfig(n=4)
+    updated = config.with_updates(batch_bytes=999)
+    assert updated.batch_bytes == 999
+    assert config.batch_bytes != 999
+    assert updated.n == 4

@@ -1,0 +1,127 @@
+"""Integration tests for chained HotStuff."""
+
+from repro.crypto import AvailabilityProof
+from repro.replica.behavior import SilentReplica
+from repro.types.proposal import Payload, PayloadEntry
+
+from tests.helpers import inject, make_cluster
+
+
+def test_commits_with_native_mempool():
+    exp = make_cluster(n=4, mempool="native", rate_tps=500, duration=3.0)
+    exp.sim.run_until(3.0)
+    assert exp.metrics.committed_tx_total > 0
+    assert exp.metrics.view_change_count == 0
+
+
+def test_all_replicas_agree_on_committed_chain():
+    exp = make_cluster(n=4, mempool="stratus", rate_tps=500, duration=3.0)
+    exp.sim.run_until(3.0)
+    # Height -> block id must be identical wherever committed.
+    canonical: dict[int, int] = {}
+    for replica in exp.replicas:
+        engine = replica.consensus
+        for block_id in engine.committed:
+            height = engine.proposals[block_id].height
+            assert canonical.setdefault(height, block_id) == block_id
+
+
+def test_commits_with_f_silent_replicas():
+    exp = make_cluster(
+        n=7, mempool="stratus", rate_tps=500, duration=3.0,
+        fault="silent", fault_count=2,
+    )
+    exp.sim.run_until(3.0)
+    assert exp.metrics.committed_tx_total > 0
+    assert exp.metrics.view_change_count == 0
+
+
+def test_silent_leader_triggers_view_change_and_recovery():
+    exp = make_cluster(
+        n=4, mempool="stratus", rate_tps=500, duration=8.0,
+        protocol_overrides={"view_timeout": 0.5},
+    )
+    # Replica 1 leads view 1; silencing it forces a timeout round.
+    exp.replicas[1].behavior = SilentReplica()
+    exp.sim.run_until(8.0)
+    assert exp.metrics.view_change_count > 0
+    assert exp.metrics.committed_tx_total > 0
+
+
+def test_invalid_availability_proof_triggers_view_change():
+    exp = make_cluster(n=4, mempool="stratus")
+    exp.sim.run_until(0.1)
+    engine = exp.replicas[2].consensus
+    mempool = exp.replicas[2].mempool
+    forged = AvailabilityProof(mb_id=42, signers=(0, 1), forged=True)
+    payload = Payload(entries=(PayloadEntry(mb_id=42, proof=forged),))
+    assert not mempool.verify_payload(payload)
+    before = exp.metrics.view_change_count
+    from repro.crypto import GENESIS_QC
+    from repro.types.proposal import Proposal, make_block_id
+    bad = Proposal(
+        block_id=make_block_id(9, 999), view=engine.cur_view,
+        height=1, proposer=engine.leader_of(engine.cur_view),
+        parent_id=0, justify=GENESIS_QC, payload=payload,
+    )
+    engine._handle_proposal(bad)
+    assert exp.metrics.view_change_count > before
+
+
+def test_executor_states_converge():
+    exp = make_cluster(
+        n=4, mempool="stratus", rate_tps=500, duration=3.0,
+        attach_executor=True,
+    )
+    exp.sim.run_until(4.0)
+    digests = {replica.executor.state_digest() for replica in exp.replicas}
+    applied = {replica.executor.tx_applied for replica in exp.replicas}
+    assert len(digests) == 1
+    assert applied.pop() > 0
+
+
+def test_empty_views_advance_chain():
+    exp = make_cluster(n=4, mempool="stratus")  # no load at all
+    exp.sim.run_until(1.0)
+    heights = [replica.consensus.committed_height for replica in exp.replicas]
+    assert max(heights) > 3  # the chain keeps committing empty blocks
+
+
+def test_leader_rotation_round_robin():
+    exp = make_cluster(n=4, mempool="stratus")
+    engine = exp.replicas[0].consensus
+    leaders = [engine.leader_of(view) for view in range(1, 9)]
+    assert leaders == [1, 2, 3, 0, 1, 2, 3, 0]
+
+
+def test_leader_set_excludes_byzantine():
+    exp = make_cluster(n=7, mempool="stratus", fault="silent", fault_count=2)
+    engine = exp.replicas[0].consensus
+    byzantine = exp.config.byzantine_ids
+    leaders = {engine.leader_of(view) for view in range(100)}
+    assert leaders.isdisjoint(byzantine)
+
+
+def test_locked_view_advances():
+    exp = make_cluster(n=4, mempool="stratus", rate_tps=200, duration=2.0)
+    exp.sim.run_until(2.0)
+    assert exp.replicas[0].consensus.locked_view > 0
+
+
+def test_native_abandoned_payload_requeued():
+    """Transactions in a fork lost to a view-change are re-proposed."""
+    exp = make_cluster(
+        n=4, mempool="native", rate_tps=0,
+        protocol_overrides={"view_timeout": 0.5},
+    )
+    inject(exp, 0, count=8)
+    # Silence the leader of the view that will propose these txs right
+    # after it proposes once: simplest is to silence replica 1 for a
+    # window, then restore it.
+    victim = exp.replicas[1]
+    honest = victim.behavior
+    victim.behavior = SilentReplica()
+    exp.sim.run_until(2.0)
+    victim.behavior = honest
+    exp.sim.run_until(10.0)
+    assert exp.metrics.committed_tx_total == 8

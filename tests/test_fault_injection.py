@@ -1,0 +1,107 @@
+"""Failure injection: message loss and temporary isolation.
+
+The simulator's drop filter models lossy delivery; these tests check
+that the protocols' retry machinery (PAB fetch rounds, chain sync,
+view-changes) restores progress.
+"""
+
+import random
+
+from repro.mempool.base import MessageKinds
+from repro.sim.network import Channel
+
+from tests.helpers import inject, make_cluster
+
+
+def test_stratus_survives_random_data_loss():
+    """10% loss on data-channel messages: PAB recovery fills the gaps."""
+    exp = make_cluster(
+        n=7, mempool="stratus", rate_tps=300, duration=6.0,
+        protocol_overrides={"fetch_timeout": 0.2},
+    )
+    rng = random.Random(99)
+    exp.network.set_drop_filter(
+        lambda env: env.channel is Channel.DATA and rng.random() < 0.10
+    )
+    exp.sim.run_until(8.0)
+    assert exp.metrics.committed_tx_total > 0
+    # Most offered transactions still commit despite the loss.
+    assert exp.metrics.committed_tx_total > 0.8 * exp.generator.emitted_tx_count
+
+
+def test_lost_microblock_body_recovered_by_fetch_rounds():
+    """Drop replica 2's copy of one body; the proof-driven fetch gets it."""
+    exp = make_cluster(
+        n=4, mempool="stratus",
+        protocol_overrides={"fetch_timeout": 0.2},
+    )
+    dropped = {"count": 0}
+
+    def drop_first_body_to_2(env):
+        if (
+            env.kind == MessageKinds.MICROBLOCK
+            and env.dst == 2
+            and dropped["count"] == 0
+        ):
+            dropped["count"] += 1
+            return True
+        return False
+
+    exp.network.set_drop_filter(drop_first_body_to_2)
+    inject(exp, 0, count=4)
+    exp.sim.run_until(5.0)
+    assert dropped["count"] == 1
+    mb_id = exp.replicas[0].mempool.store.ids[0]
+    assert mb_id in exp.replicas[2].mempool.store
+    assert exp.metrics.fetch_count > 0
+
+
+def test_lost_proposal_recovered_by_chain_sync():
+    """Drop every proposal to replica 3 for a while; sync catches it up."""
+    exp = make_cluster(
+        n=4, mempool="stratus", rate_tps=300, duration=8.0,
+        protocol_overrides={"view_timeout": 0.5},
+    )
+
+    def drop_proposals_to_3(env):
+        return (
+            env.kind == MessageKinds.PROPOSAL
+            and env.dst == 3
+            and exp.sim.now < 2.0
+        )
+
+    exp.network.set_drop_filter(drop_proposals_to_3)
+    exp.sim.run_until(8.0)
+    lagging = exp.replicas[3].consensus
+    leading = exp.replicas[0].consensus
+    # Replica 3 rejoined the chain and committed blocks from the gap era.
+    assert lagging.committed_height > 0.8 * leading.committed_height
+    assert exp.metrics.committed_tx_total > 0
+
+
+def test_vote_loss_triggers_view_change_but_liveness_holds():
+    """Drop all votes for a window: views time out, then progress resumes."""
+    exp = make_cluster(
+        n=4, mempool="stratus", rate_tps=300, duration=8.0,
+        protocol_overrides={"view_timeout": 0.4},
+    )
+
+    def drop_votes(env):
+        return env.kind == MessageKinds.VOTE and 1.0 < exp.sim.now < 2.5
+
+    exp.network.set_drop_filter(drop_votes)
+    exp.sim.run_until(8.0)
+    assert exp.metrics.view_change_count > 0
+    assert exp.metrics.committed_tx_total > 0.8 * exp.generator.emitted_tx_count
+
+
+def test_ack_loss_delays_but_does_not_block_stability():
+    """Half the acks lost: quorums still form from the other replicas."""
+    exp = make_cluster(n=7, mempool="stratus")
+    rng = random.Random(5)
+    exp.network.set_drop_filter(
+        lambda env: env.kind == MessageKinds.ACK and rng.random() < 0.5
+    )
+    inject(exp, 0, count=4)
+    exp.sim.run_until(4.0)
+    assert exp.metrics.committed_tx_total == 4

@@ -1,0 +1,197 @@
+"""Unit tests for the fetch manager and its target providers."""
+
+import random
+
+from repro.config import ProtocolConfig
+from repro.mempool.base import MessageKinds
+from repro.mempool.fetching import (
+    FetchManager,
+    sampled_signers,
+    single_target,
+)
+from repro.mempool.store import MicroBlockStore
+from repro.replica.behavior import HonestBehavior, SilentReplica
+from repro.sim import Network, RngRegistry, Simulator
+from repro.sim.topology import Topology
+from repro.types import MicroBlock, make_microblock_id
+
+
+class FakeHost:
+    def __init__(self, node_id, sim, network):
+        self.node_id = node_id
+        self.sim = sim
+        self.network = network
+        self.behavior = HonestBehavior()
+        self.rng = random.Random(1)
+        self.metrics = _FakeMetrics()
+
+
+class _FakeMetrics:
+    def __init__(self):
+        self.fetches = 0
+
+    def record_fetch(self):
+        self.fetches += 1
+
+
+def make_env(n=4):
+    sim = Simulator()
+    topo = Topology(n, one_way_delay=0.01, bandwidth_bps=1e9)
+    net = Network(sim, topo, RngRegistry(3))
+    inboxes = {i: [] for i in range(n)}
+    hosts = []
+    for i in range(n):
+        # register later per host; placeholder handlers that log
+        pass
+    for i in range(n):
+        net.register(i, lambda env, i=i: inboxes[i].append(env))
+    host = FakeHost(0, sim, net)
+    return sim, net, inboxes, host
+
+
+def make_mb(counter=0):
+    return MicroBlock(
+        id=make_microblock_id(1, counter), origin=1, tx_count=4,
+        tx_payload=128, created_at=0.0, sum_arrival=0.0,
+    )
+
+
+def test_request_sends_and_retries_on_timeout():
+    sim, net, inboxes, host = make_env()
+    config = ProtocolConfig(n=4, fetch_timeout=0.1)
+    store = MicroBlockStore()
+    manager = FetchManager(host, config, store)
+    mb = make_mb()
+    manager.request(mb.id, single_target(2))
+    sim.run_until(0.35)
+    requests = [env for env in inboxes[2]
+                if env.kind == MessageKinds.FETCH_REQUEST]
+    assert len(requests) >= 3  # initial round + two retries
+    assert host.metrics.fetches >= 3
+
+
+def test_delivery_cancels_retries():
+    sim, net, inboxes, host = make_env()
+    config = ProtocolConfig(n=4, fetch_timeout=0.1)
+    store = MicroBlockStore()
+    manager = FetchManager(host, config, store)
+    mb = make_mb()
+    manager.request(mb.id, single_target(2))
+    sim.run_until(0.05)
+    store.add(mb)
+    count_at_delivery = host.metrics.fetches
+    sim.run_until(1.0)
+    assert host.metrics.fetches == count_at_delivery
+    assert manager.outstanding == 0
+
+
+def test_request_is_idempotent():
+    sim, net, inboxes, host = make_env()
+    config = ProtocolConfig(n=4, fetch_timeout=10.0)
+    manager = FetchManager(host, config, MicroBlockStore())
+    mb = make_mb()
+    manager.request(mb.id, single_target(2))
+    manager.request(mb.id, single_target(3))
+    sim.run_until(0.1)
+    assert host.metrics.fetches == 1  # second request ignored
+
+
+def test_request_skipped_when_already_stored():
+    sim, net, inboxes, host = make_env()
+    config = ProtocolConfig(n=4)
+    store = MicroBlockStore()
+    mb = make_mb()
+    store.add(mb)
+    manager = FetchManager(host, config, store)
+    manager.request(mb.id, single_target(2))
+    assert manager.outstanding == 0
+
+
+def test_delayed_request_skips_if_body_arrives_in_grace():
+    sim, net, inboxes, host = make_env()
+    config = ProtocolConfig(n=4, fetch_timeout=0.5)
+    store = MicroBlockStore()
+    manager = FetchManager(host, config, store)
+    mb = make_mb()
+    manager.request(mb.id, single_target(2), delay=0.2)
+    sim.run_until(0.1)
+    store.add(mb)  # body arrives before the grace period expires
+    sim.run_until(1.0)
+    assert host.metrics.fetches == 0
+
+
+def test_delayed_request_fires_after_grace():
+    sim, net, inboxes, host = make_env()
+    config = ProtocolConfig(n=4, fetch_timeout=0.5)
+    manager = FetchManager(host, config, MicroBlockStore())
+    mb = make_mb()
+    manager.request(mb.id, single_target(2), delay=0.2)
+    sim.run_until(0.1)
+    assert host.metrics.fetches == 0
+    sim.run_until(0.3)
+    assert host.metrics.fetches == 1
+
+
+def test_handle_request_serves_stored_body():
+    sim, net, inboxes, host = make_env()
+    config = ProtocolConfig(n=4)
+    store = MicroBlockStore()
+    mb = make_mb()
+    store.add(mb)
+    manager = FetchManager(host, config, store)
+    manager.handle_request(3, mb.id)
+    sim.run()
+    bodies = [env for env in inboxes[3]
+              if env.kind == MessageKinds.MICROBLOCK_FETCH]
+    assert len(bodies) == 1
+    assert bodies[0].payload is mb
+
+
+def test_handle_request_ignores_unknown_and_byzantine():
+    sim, net, inboxes, host = make_env()
+    config = ProtocolConfig(n=4)
+    store = MicroBlockStore()
+    manager = FetchManager(host, config, store)
+    manager.handle_request(3, make_mb().id)  # unknown id
+    host.behavior = SilentReplica()
+    mb = make_mb()
+    store.add(mb)
+    manager.handle_request(3, mb.id)  # Byzantine: refuses to serve
+    sim.run()
+    assert inboxes[3] == []
+
+
+class TestTargetProviders:
+    def test_single_target_constant(self):
+        provider = single_target(5)
+        assert provider(set()) == [5]
+        assert provider({5}) == [5]
+
+    def test_sampled_signers_excludes_self_and_requested(self):
+        config = ProtocolConfig(n=10, fetch_sample_fraction=1.0)
+        provider = sampled_signers(
+            config, random.Random(1), signers=(0, 1, 2, 3), own_id=0)
+        targets = provider({1})
+        assert 0 not in targets
+        assert 1 not in targets
+        assert set(targets) <= {2, 3}
+
+    def test_sampled_signers_always_picks_at_least_one(self):
+        config = ProtocolConfig(n=10, fetch_sample_fraction=0.0001)
+        provider = sampled_signers(
+            config, random.Random(1), signers=(1, 2, 3), own_id=0)
+        for _ in range(20):
+            assert len(provider(set())) >= 1
+
+    def test_sampled_signers_respects_max_targets(self):
+        config = ProtocolConfig(
+            n=40, fetch_sample_fraction=1.0, fetch_max_targets=3)
+        provider = sampled_signers(
+            config, random.Random(1), signers=tuple(range(1, 30)), own_id=0)
+        assert len(provider(set())) <= 3
+
+    def test_sampled_signers_empty_when_exhausted(self):
+        config = ProtocolConfig(n=10)
+        provider = sampled_signers(
+            config, random.Random(1), signers=(1, 2), own_id=0)
+        assert provider({1, 2}) == []

@@ -1,0 +1,180 @@
+"""Unit tests for the experiment harness."""
+
+import pytest
+
+from repro.config import ProtocolConfig
+from repro.harness import (
+    ExperimentConfig,
+    PROTOCOL_PRESETS,
+    build_experiment,
+    run_experiment,
+    tuned_protocol,
+)
+from repro.harness.report import format_series, format_table, mbps
+from repro.replica.behavior import (
+    CensoringSender,
+    HonestBehavior,
+    LyingProxy,
+    SilentReplica,
+)
+
+
+class TestPresets:
+    def test_all_acronyms_resolve(self):
+        for preset in PROTOCOL_PRESETS:
+            config = tuned_protocol(preset, n=16)
+            assert config.n == 16
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            tuned_protocol("X-HS", n=16)
+
+    def test_batch_size_rule(self):
+        assert tuned_protocol("S-HS", 64).batch_bytes == 128 * 1024
+        assert tuned_protocol("S-HS", 128).batch_bytes == 128 * 1024
+        assert tuned_protocol("S-HS", 256).batch_bytes == 256 * 1024
+
+    def test_overrides_win(self):
+        config = tuned_protocol("S-HS", 64, batch_bytes=32 * 1024)
+        assert config.batch_bytes == 32 * 1024
+
+    def test_stratus_enables_load_balancing(self):
+        assert tuned_protocol("S-HS", 16).load_balancing
+        assert not tuned_protocol("SMP-HS", 16).load_balancing
+
+    def test_native_wan_view_timeout_covers_proposal(self):
+        config = tuned_protocol("N-HS", 64, topology_kind="wan")
+        transmit = 63 * config.native_block_bytes * 8 / 100e6
+        assert config.view_timeout >= transmit
+
+    def test_mapping_matches_table_ii(self):
+        assert PROTOCOL_PRESETS["N-HS"] == ("native", "hotstuff")
+        assert PROTOCOL_PRESETS["SMP-HS-G"] == ("gossip", "hotstuff")
+        assert PROTOCOL_PRESETS["S-SL"] == ("stratus", "streamlet")
+        assert PROTOCOL_PRESETS["Narwhal"] == ("narwhal", "hotstuff")
+
+
+class TestExperimentConfig:
+    def make(self, **kwargs):
+        protocol = kwargs.pop("protocol", ProtocolConfig(n=7))
+        return ExperimentConfig(protocol=protocol, **kwargs)
+
+    def test_byzantine_ids_are_highest(self):
+        config = self.make(fault="silent", fault_count=2)
+        assert config.byzantine_ids == frozenset({5, 6})
+
+    def test_fault_count_bounded_by_f(self):
+        with pytest.raises(ValueError):
+            self.make(fault="silent", fault_count=3)  # f=2 for n=7
+
+    def test_fault_requires_count(self):
+        with pytest.raises(ValueError):
+            self.make(fault="silent")
+        with pytest.raises(ValueError):
+            self.make(fault_count=1)
+
+    def test_invalid_selector(self):
+        with pytest.raises(ValueError):
+            self.make(selector="pareto")
+
+    def test_invalid_topology(self):
+        with pytest.raises(ValueError):
+            self.make(topology_kind="mars")
+
+    def test_end_time(self):
+        config = self.make(duration=5.0, warmup=2.0)
+        assert config.end_time == 7.0
+
+
+class TestBuildExperiment:
+    def test_wiring(self):
+        config = ExperimentConfig(
+            protocol=ProtocolConfig(n=4), rate_tps=0.0,
+        )
+        exp = build_experiment(config)
+        assert len(exp.replicas) == 4
+        for replica in exp.replicas:
+            assert replica.mempool is not None
+            assert replica.consensus is not None
+            assert isinstance(replica.behavior, HonestBehavior)
+
+    def test_behaviors_assigned(self):
+        for fault, cls in [
+            ("silent", SilentReplica),
+            ("censor", CensoringSender),
+            ("lying", LyingProxy),
+        ]:
+            config = ExperimentConfig(
+                protocol=ProtocolConfig(n=7), rate_tps=0.0,
+                fault=fault, fault_count=2,
+            )
+            exp = build_experiment(config)
+            assert isinstance(exp.replicas[6].behavior, cls)
+            assert isinstance(exp.replicas[0].behavior, HonestBehavior)
+
+    def test_leader_set_excludes_byzantine(self):
+        config = ExperimentConfig(
+            protocol=ProtocolConfig(n=7), rate_tps=0.0,
+            fault="silent", fault_count=2,
+        )
+        exp = build_experiment(config)
+        assert exp.replicas[0].leader_set == (0, 1, 2, 3, 4)
+
+    def test_executor_attachment(self):
+        config = ExperimentConfig(
+            protocol=ProtocolConfig(n=4), rate_tps=0.0,
+            attach_executor=True,
+        )
+        exp = build_experiment(config)
+        assert exp.replicas[0].executor is not None
+
+    def test_run_experiment_produces_result(self):
+        protocol = ProtocolConfig(
+            n=4, batch_bytes=512, empty_view_delay=0.002,
+        )
+        result = run_experiment(ExperimentConfig(
+            protocol=protocol, rate_tps=200, duration=2.0, warmup=0.5,
+            label="smoke",
+        ))
+        assert result.label == "smoke"
+        assert result.throughput_tps > 0
+        assert result.committed_tx > 0
+        assert result.emitted_tx > 0
+
+    def test_seed_reproducibility(self):
+        def run(seed):
+            protocol = ProtocolConfig(n=4, batch_bytes=512)
+            return run_experiment(ExperimentConfig(
+                protocol=protocol, rate_tps=500, duration=1.5,
+                warmup=0.5, seed=seed,
+            ))
+
+        first, second, different = run(5), run(5), run(6)
+        assert first.throughput_tps == second.throughput_tps
+        assert first.latency_mean == second.latency_mean
+        # A different seed perturbs jitter and thus latencies.
+        assert different.latency_mean != first.latency_mean
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["proto", "tput"],
+            [["N-HS", 1234.5], ["S-HS", 56789.0]],
+            title="Scalability",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Scalability"
+        assert "proto" in lines[1]
+        assert "1,234" in text or "1234" in text
+
+    def test_format_series(self):
+        text = format_series("tput", [(16, 100.0), (32, 90.0)],
+                             x_label="n", y_label="tps")
+        assert "tput" in text
+        assert text.count("\n") == 2
+
+    def test_mbps(self):
+        assert mbps(1_000_000, 8.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            mbps(1, 0)

@@ -1,0 +1,64 @@
+"""Tests for replicated runs and heterogeneous bandwidth support."""
+
+import pytest
+
+from repro.config import ProtocolConfig
+from repro.harness import ExperimentConfig, build_experiment, run_replicated
+
+
+def small_config(**kwargs):
+    protocol = ProtocolConfig(n=4, batch_bytes=512)
+    return ExperimentConfig(
+        protocol=protocol, rate_tps=500, duration=1.0, warmup=0.5, **kwargs
+    )
+
+
+class TestRunReplicated:
+    def test_aggregates_over_seeds(self):
+        result = run_replicated(small_config(), seeds=[1, 2, 3])
+        assert len(result) == 3
+        assert result.throughput_mean > 0
+        assert result.latency_mean > 0
+        assert result.throughput_std >= 0
+
+    def test_single_seed_zero_std(self):
+        result = run_replicated(small_config(), seeds=[7])
+        assert result.throughput_std == 0.0
+
+    def test_same_seed_identical(self):
+        result = run_replicated(small_config(), seeds=[5, 5])
+        assert result.throughput_std == 0.0
+        assert result.runs[0].latency_mean == result.runs[1].latency_mean
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_replicated(small_config(), seeds=[])
+
+
+class TestBandwidthMap:
+    def test_overrides_apply(self):
+        config = small_config(bandwidth_map={1: 5_000_000.0})
+        exp = build_experiment(config)
+        assert exp.topology.bandwidth(1) == 5_000_000.0
+        assert exp.topology.bandwidth(0) > 5_000_000.0
+
+    def test_slow_replica_still_commits(self):
+        config = small_config(bandwidth_map={3: 2_000_000.0})
+        exp = build_experiment(config)
+        exp.sim.run_until(2.0)
+        assert exp.metrics.committed_tx_total > 0
+
+
+class TestGeoTopologyHarness:
+    def test_geo_experiment_runs(self):
+        config = small_config(topology_kind="geo")
+        exp = build_experiment(config)
+        assert exp.topology.name == "geo"
+        assert exp.topology.regions[:4] == ["SG", "SN", "VG", "LD"]
+        exp.sim.run_until(2.0)
+        assert exp.metrics.committed_tx_total > 0
+
+    def test_invalid_topology_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            small_config(topology_kind="moon")

@@ -1,0 +1,73 @@
+"""Unit tests for the KV state machine."""
+
+import pytest
+
+from repro.crypto import GENESIS_QC
+from repro.kvstore import KVStore
+from repro.types import MicroBlock, make_microblock_id
+from repro.types.proposal import Block, Payload, PayloadEntry, Proposal
+
+
+def make_block(mb_counts=(4,), proposer=1, counter=0):
+    microblocks = {}
+    entries = []
+    for index, count in enumerate(mb_counts):
+        mb = MicroBlock(
+            id=make_microblock_id(proposer, counter * 100 + index),
+            origin=proposer, tx_count=count, tx_payload=128,
+            created_at=0.0, sum_arrival=0.0,
+        )
+        microblocks[mb.id] = mb
+        entries.append(PayloadEntry(mb_id=mb.id))
+    proposal = Proposal(
+        block_id=counter + 1, view=counter + 1, height=counter + 1,
+        proposer=proposer, parent_id=counter, justify=GENESIS_QC,
+        payload=Payload(entries=tuple(entries)),
+    )
+    return Block(proposal=proposal, microblocks=microblocks)
+
+
+def test_apply_counts_transactions():
+    store = KVStore()
+    store.apply_block(make_block((4, 6)))
+    assert store.tx_applied == 10
+    assert store.applied_block_ids == [1]
+
+
+def test_same_blocks_same_state():
+    a, b = KVStore(), KVStore()
+    for counter in range(3):
+        block = make_block((4,), counter=counter)
+        a.apply_block(block)
+        b.apply_block(block)
+    assert a.state_digest() == b.state_digest()
+
+
+def test_different_blocks_different_state():
+    a, b = KVStore(), KVStore()
+    a.apply_block(make_block((4,), counter=0))
+    b.apply_block(make_block((5,), counter=0))
+    assert a.state_digest() != b.state_digest()
+
+
+def test_partial_block_rejected():
+    block = make_block((4,))
+    missing_id = next(iter(block.microblocks))
+    del block.microblocks[missing_id]
+    with pytest.raises(ValueError):
+        KVStore().apply_block(block)
+
+
+def test_get_defaults_to_zero():
+    assert KVStore().get(123) == 0
+
+
+def test_writes_visible():
+    store = KVStore(key_space=10)
+    store.apply_block(make_block((20,)))
+    assert any(store.get(key) > 0 for key in range(10))
+
+
+def test_invalid_key_space():
+    with pytest.raises(ValueError):
+        KVStore(key_space=0)

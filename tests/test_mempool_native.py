@@ -1,0 +1,101 @@
+"""Unit tests for the native mempool and its shared pending pool."""
+
+import pytest
+
+from repro.mempool.native import SharedPendingPool
+from repro.types import TxBatch
+
+from tests.helpers import inject, make_cluster
+
+
+class TestSharedPendingPool:
+    def make_pool(self):
+        return SharedPendingPool(tx_payload=128)
+
+    def batch(self, count, when=1.0):
+        return TxBatch(count=count, payload_bytes=128, mean_arrival=when)
+
+    def test_add_and_draw(self):
+        pool = self.make_pool()
+        pool.add(self.batch(10, when=2.0))
+        count, sum_arrival = pool.draw(max_bytes=128 * 4)
+        assert count == 4
+        assert sum_arrival == pytest.approx(8.0)
+        assert pool.pending == 6
+
+    def test_draw_everything(self):
+        pool = self.make_pool()
+        pool.add(self.batch(3))
+        count, _ = pool.draw(max_bytes=10**9)
+        assert count == 3
+        assert pool.pending == 0
+
+    def test_draw_empty(self):
+        pool = self.make_pool()
+        assert pool.draw(1024) == (0, 0.0)
+
+    def test_refund_restores(self):
+        pool = self.make_pool()
+        pool.add(self.batch(10, when=2.0))
+        count, sum_arrival = pool.draw(128 * 10)
+        pool.refund(count, sum_arrival)
+        assert pool.pending == 10
+        count2, sum2 = pool.draw(128 * 10)
+        assert count2 == 10
+        assert sum2 == pytest.approx(20.0)
+
+    def test_refund_zero_noop(self):
+        pool = self.make_pool()
+        pool.refund(0, 0.0)
+        assert pool.pending == 0
+
+    def test_payload_mismatch_rejected(self):
+        pool = self.make_pool()
+        with pytest.raises(ValueError):
+            pool.add(TxBatch(count=1, payload_bytes=256, mean_arrival=0.0))
+
+
+class TestNativeMempool:
+    def test_payload_embeds_full_data(self):
+        exp = make_cluster(n=4, mempool="native")
+        inject(exp, 0, count=8)
+        mempool = exp.replicas[1].mempool  # any replica can draw
+        payload = mempool.make_payload()
+        assert payload.embedded
+        assert payload.embedded[0].tx_count == 8
+        assert payload.size_bytes > 8 * 128
+
+    def test_block_size_limit_respected(self):
+        exp = make_cluster(
+            n=4, mempool="native",
+            protocol_overrides={"native_block_bytes": 128 * 4},
+        )
+        inject(exp, 0, count=100)
+        payload = exp.replicas[0].mempool.make_payload()
+        assert payload.embedded[0].tx_count == 4
+
+    def test_empty_payload_when_pool_empty(self):
+        exp = make_cluster(n=4, mempool="native")
+        payload = exp.replicas[0].mempool.make_payload()
+        assert payload.is_empty
+
+    def test_prepare_is_immediate(self):
+        exp = make_cluster(n=4, mempool="native")
+        inject(exp, 0, count=4)
+        mempool = exp.replicas[0].mempool
+        payload = mempool.make_payload()
+        from repro.crypto import GENESIS_QC
+        from repro.types.proposal import Proposal, make_block_id
+        proposal = Proposal(
+            block_id=make_block_id(0, 99), view=1, height=1, proposer=0,
+            parent_id=0, justify=GENESIS_QC, payload=payload,
+        )
+        fired = []
+        mempool.prepare(proposal, lambda: fired.append(True))
+        assert fired == [True]
+
+    def test_commits_through_consensus(self):
+        exp = make_cluster(n=4, mempool="native")
+        inject(exp, 2, count=8)
+        exp.sim.run_until(2.0)
+        assert exp.metrics.committed_tx_total == 8

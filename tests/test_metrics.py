@@ -1,0 +1,129 @@
+"""Unit tests for the metrics hub and weighted digest."""
+
+import pytest
+
+from repro.metrics import MetricsHub, WeightedDigest
+from repro.sim.engine import Simulator
+
+
+class TestWeightedDigest:
+    def test_empty(self):
+        digest = WeightedDigest()
+        assert digest.mean == 0.0
+        assert digest.percentile(50) == 0.0
+        assert len(digest) == 0
+
+    def test_mean_weighted(self):
+        digest = WeightedDigest()
+        digest.add(1.0, weight=1.0)
+        digest.add(2.0, weight=3.0)
+        assert digest.mean == pytest.approx(1.75)
+        assert digest.total_weight == pytest.approx(4.0)
+
+    def test_percentiles(self):
+        digest = WeightedDigest()
+        for value in range(1, 101):
+            digest.add(float(value))
+        assert digest.percentile(50) == pytest.approx(50.0)
+        assert digest.percentile(95) == pytest.approx(95.0)
+        assert digest.percentile(100) == pytest.approx(100.0)
+
+    def test_weight_shifts_percentile(self):
+        digest = WeightedDigest()
+        digest.add(1.0, weight=99.0)
+        digest.add(100.0, weight=1.0)
+        assert digest.percentile(50) == pytest.approx(1.0)
+        assert digest.percentile(100) == pytest.approx(100.0)
+
+    def test_min_max(self):
+        digest = WeightedDigest()
+        digest.extend([(5.0, 1.0), (2.0, 1.0), (9.0, 1.0)])
+        assert digest.min == 2.0
+        assert digest.max == 9.0
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            WeightedDigest().add(1.0, weight=0.0)
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            WeightedDigest().percentile(101)
+
+
+class TestMetricsHub:
+    def make_hub(self):
+        sim = Simulator()
+        return sim, MetricsHub(sim)
+
+    def test_commit_recorded(self):
+        sim, hub = self.make_hub()
+        ok = hub.record_commit(
+            block_id=1, tx_count=100, microblock_count=2,
+            latencies=[(0.5, 50.0), (0.7, 50.0)], commit_time=1.0,
+        )
+        assert ok
+        assert hub.committed_tx_total == 100
+        assert hub.latency.mean == pytest.approx(0.6)
+
+    def test_duplicate_commit_ignored(self):
+        sim, hub = self.make_hub()
+        hub.record_commit(1, 100, 1, [(0.5, 100.0)], commit_time=1.0)
+        ok = hub.record_commit(1, 999, 9, [(9.9, 999.0)], commit_time=2.0)
+        assert not ok
+        assert hub.committed_tx_total == 100
+
+    def test_throughput_windowed(self):
+        sim, hub = self.make_hub()
+        hub.record_commit(1, 100, 1, [], commit_time=0.5)
+        hub.record_commit(2, 200, 1, [], commit_time=1.5)
+        hub.record_commit(3, 400, 1, [], commit_time=2.5)
+        assert hub.throughput_tps(1.0, 3.0) == pytest.approx(300.0)
+        assert hub.throughput_tps(0.0, 1.0) == pytest.approx(100.0)
+
+    def test_throughput_series_buckets(self):
+        sim, hub = self.make_hub()
+        hub.record_commit(1, 100, 1, [], commit_time=0.2)
+        hub.record_commit(2, 300, 1, [], commit_time=1.7)
+        series = hub.throughput_series(0.0, 2.0, bucket=1.0)
+        assert series == [(0.0, 100.0), (1.0, 300.0)]
+
+    def test_latency_stats_windowed(self):
+        sim, hub = self.make_hub()
+        hub.record_commit(1, 10, 1, [(0.1, 10.0)], commit_time=0.5)
+        hub.record_commit(2, 10, 1, [(0.9, 10.0)], commit_time=5.0)
+        early = hub.latency_stats(0.0, 1.0)
+        assert early.mean == pytest.approx(0.1)
+
+    def test_view_changes_windowed(self):
+        sim, hub = self.make_hub()
+        sim.schedule(1.0, lambda: hub.record_view_change(0, 3))
+        sim.schedule(4.0, lambda: hub.record_view_change(1, 4))
+        sim.run()
+        assert hub.view_change_count == 2
+        assert hub.view_changes_in(0.0, 2.0) == 1
+
+    def test_negative_latency_clamped(self):
+        sim, hub = self.make_hub()
+        hub.record_commit(1, 10, 1, [(-0.5, 10.0)], commit_time=0.0)
+        assert hub.latency.mean == 0.0
+
+    def test_commits_sorted_by_time(self):
+        sim, hub = self.make_hub()
+        hub.record_commit(2, 1, 1, [], commit_time=2.0)
+        hub.record_commit(1, 1, 1, [], commit_time=1.0)
+        assert [rec.block_id for rec in hub.commits] == [1, 2]
+
+    def test_counters(self):
+        sim, hub = self.make_hub()
+        hub.record_forward()
+        hub.record_fetch()
+        hub.record_fetch()
+        hub.record_stable_time(0.25)
+        assert hub.forwarded_microblocks == 1
+        assert hub.fetch_count == 2
+        assert hub.stable_times.mean == pytest.approx(0.25)
+
+    def test_bad_window_rejected(self):
+        sim, hub = self.make_hub()
+        with pytest.raises(ValueError):
+            hub.throughput_tps(2.0, 1.0)

@@ -1,0 +1,82 @@
+"""White-box tests for PBFT's two-round commit logic."""
+
+from repro.crypto import GENESIS_QC
+from repro.types.proposal import Payload, Proposal, make_block_id
+
+from tests.helpers import make_cluster
+
+
+def frozen_pbft(n=4):
+    exp = make_cluster(n=n, consensus="pbft", mempool="native")
+    for replica in exp.replicas:
+        replica.consensus._pump = lambda *a, **k: None
+    return exp
+
+
+def make_pre_prepare(seq):
+    return Proposal(
+        block_id=make_block_id(0, seq), view=0, height=seq + 1, proposer=0,
+        parent_id=0, justify=GENESIS_QC, payload=Payload(),
+    )
+
+
+def test_prepare_quorum_gates_commit_round():
+    exp = frozen_pbft()
+    engine = exp.replicas[3].consensus
+    proposal = make_pre_prepare(0)
+    engine._on_pre_prepare(0, proposal)  # own prepare broadcast
+    slot = engine._slot(0)
+    assert not slot.prepared or len(slot.prepares) >= 1
+    engine._on_prepare(0, 1)
+    engine._on_prepare(0, 2)
+    assert slot.prepared  # 3 = 2f+1 prepares (incl own)
+    assert not slot.committed
+
+
+def test_commit_quorum_commits_once():
+    exp = frozen_pbft()
+    engine = exp.replicas[3].consensus
+    engine._on_pre_prepare(0, make_pre_prepare(0))
+    for voter in (1, 2):
+        engine._on_prepare(0, voter)
+    for voter in (1, 2):
+        engine._on_commit_vote(0, voter)
+    slot = engine._slot(0)
+    assert slot.committed
+    # Replaying votes must not double-commit (metrics dedupe by block id,
+    # but the slot flag must also hold).
+    engine._on_commit_vote(0, 1)
+    assert slot.committed
+
+
+def test_commit_requires_pre_prepare():
+    exp = frozen_pbft()
+    engine = exp.replicas[3].consensus
+    for voter in (0, 1, 2):
+        engine._on_prepare(5, voter)
+        engine._on_commit_vote(5, voter)
+    assert not engine._slot(5).committed  # no proposal content yet
+
+
+def test_out_of_order_slots_commit_independently():
+    exp = frozen_pbft()
+    engine = exp.replicas[3].consensus
+    for seq in (1, 0):
+        engine._on_pre_prepare(seq, make_pre_prepare(seq))
+        for voter in (1, 2):
+            engine._on_prepare(seq, voter)
+        for voter in (1, 2):
+            engine._on_commit_vote(seq, voter)
+    assert engine._slot(0).committed
+    assert engine._slot(1).committed
+
+
+def test_silent_replica_does_not_vote():
+    from repro.replica.behavior import SilentReplica
+
+    exp = frozen_pbft()
+    engine = exp.replicas[3].consensus
+    exp.replicas[3].behavior = SilentReplica()
+    engine._on_pre_prepare(0, make_pre_prepare(0))
+    slot = engine._slot(0)
+    assert 3 not in slot.prepares

@@ -1,0 +1,246 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ProtocolConfig
+from repro.crypto import (
+    make_availability_proof,
+    sign,
+    verify_availability_proof,
+)
+from repro.metrics import WeightedDigest
+from repro.mempool.batching import MicroBlockBatcher
+from repro.mempool.stratus.estimator import StableTimeEstimator
+from repro.sim.engine import Simulator
+from repro.sim.network import TokenBucket
+from repro.types import TxBatch
+from repro.workload import ZipfSelector, zipf_weights
+
+
+# -- weighted digest -----------------------------------------------------
+
+samples = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        st.floats(min_value=1e-3, max_value=1e3,
+                  allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1, max_size=200,
+)
+
+
+@given(samples)
+def test_digest_percentiles_within_range(data):
+    digest = WeightedDigest()
+    digest.extend(data)
+    values = [value for value, _ in data]
+    for p in (0, 25, 50, 75, 95, 100):
+        assert min(values) <= digest.percentile(p) <= max(values)
+
+
+@given(samples)
+def test_digest_mean_within_range(data):
+    digest = WeightedDigest()
+    digest.extend(data)
+    assert min(v for v, _ in data) - 1e-9 <= digest.mean
+    assert digest.mean <= max(v for v, _ in data) + 1e-9
+
+
+@given(samples)
+def test_digest_percentiles_monotone(data):
+    digest = WeightedDigest()
+    digest.extend(data)
+    points = [digest.percentile(p) for p in range(0, 101, 10)]
+    assert all(a <= b for a, b in zip(points, points[1:]))
+
+
+# -- simulation engine -----------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                          allow_nan=False), min_size=1, max_size=100))
+def test_engine_executes_in_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+# -- availability proofs -----------------------------------------------
+
+@given(
+    n=st.integers(min_value=4, max_value=200),
+    data=st.data(),
+)
+def test_proof_roundtrip_iff_quorum(n, data):
+    f = (n - 1) // 3
+    quorum = data.draw(st.integers(min_value=f + 1, max_value=2 * f + 1))
+    signer_count = data.draw(st.integers(min_value=0, max_value=n))
+    signers = data.draw(st.permutations(range(n))) [:signer_count]
+    acks = [sign(s, 7) for s in signers]
+    if len(set(signers)) >= quorum:
+        proof = make_availability_proof(7, acks, quorum, n)
+        assert verify_availability_proof(proof, 7, quorum, n)
+        # At most f Byzantine replicas: a quorum of f+1 must contain a
+        # correct one, i.e. the signer set cannot fit inside any f-subset.
+        assert len(set(proof.signers)) > f or quorum <= f
+    else:
+        try:
+            make_availability_proof(7, acks, quorum, n)
+            assert False, "proof formed without a quorum"
+        except ValueError:
+            pass
+
+
+# -- batching conservation ------------------------------------------------
+
+batches = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=50),
+              st.floats(min_value=0.0, max_value=10.0, allow_nan=False)),
+    min_size=1, max_size=50,
+)
+
+
+class _Host:
+    def __init__(self):
+        self.node_id = 0
+        self.sim = Simulator()
+
+
+@given(batches)
+@settings(max_examples=50)
+def test_batcher_conserves_transactions(batch_specs):
+    host = _Host()
+    config = ProtocolConfig(n=4, batch_bytes=8 * 128, tx_payload=128,
+                            batch_timeout=0.01)
+    emitted = []
+    batcher = MicroBlockBatcher(host, config, emitted.append)
+    total = 0
+    for count, when in batch_specs:
+        total += count
+        batcher.add(TxBatch(count=count, payload_bytes=128,
+                            mean_arrival=when))
+    host.sim.run_until(1.0)  # fire the flush timer
+    assert sum(mb.tx_count for mb in emitted) == total
+    assert all(mb.tx_count <= 8 for mb in emitted)
+    ids = [mb.id for mb in emitted]
+    assert len(set(ids)) == len(ids)
+
+
+# -- estimator ---------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0.001, max_value=10.0,
+                          allow_nan=False), min_size=1, max_size=300))
+def test_estimator_estimate_within_window_range(values):
+    estimator = StableTimeEstimator(window=50)
+    for value in values:
+        estimator.record(value)
+    window = values[-50:]
+    estimate = estimator.estimate()
+    assert min(window) <= estimate <= max(window)
+    # The baseline floor stays between the all-time minimum and the
+    # largest sample (it drifts up at most 1% per record).
+    assert min(values) <= estimator.baseline <= max(values) + 1e-12
+
+
+@given(st.floats(min_value=0.001, max_value=10.0, allow_nan=False),
+       st.integers(min_value=6, max_value=100))
+def test_estimator_constant_load_never_busy(value, count):
+    estimator = StableTimeEstimator(window=50)
+    for _ in range(count):
+        estimator.record(value)
+    assert not estimator.is_busy()
+
+
+# -- token bucket ----------------------------------------------------------
+
+@given(
+    rate=st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+    burst=st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+    sizes=st.lists(st.floats(min_value=1.0, max_value=1e5,
+                             allow_nan=False), min_size=1, max_size=30),
+)
+def test_token_bucket_never_ready_in_the_past(rate, burst, sizes):
+    bucket = TokenBucket(rate, burst)
+    now = 0.0
+    for size in sizes:
+        ready = bucket.ready_at(now, size)
+        assert ready >= now
+        now = ready
+        bucket.consume(now, size)
+
+
+# -- zipf ------------------------------------------------------------------
+
+@given(st.integers(min_value=1, max_value=500),
+       st.floats(min_value=1.001, max_value=4.0, allow_nan=False),
+       st.floats(min_value=1.0, max_value=50.0, allow_nan=False))
+def test_zipf_shares_valid_distribution(n, s, v):
+    selector = ZipfSelector(n, s=s, v=v)
+    shares = selector.shares()
+    assert abs(sum(shares) - 1.0) < 1e-9
+    assert all(share > 0 for share in shares)
+    assert all(a >= b for a, b in zip(shares, shares[1:]))
+
+
+@given(st.integers(min_value=2, max_value=300))
+def test_zipf_weights_strictly_decreasing(n):
+    weights = zipf_weights(n, s=1.01, v=1.0)
+    assert all(a > b for a, b in zip(weights, weights[1:]))
+
+
+# -- network delivery conservation ---------------------------------------
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3),
+                  st.integers(min_value=0, max_value=3),
+                  st.integers(min_value=1, max_value=100_000)),
+        min_size=1, max_size=60,
+    )
+)
+@settings(max_examples=40)
+def test_network_delivers_every_sent_message_exactly_once(sends):
+    from repro.sim import Network, RngRegistry, Simulator
+    from repro.sim.topology import Topology
+
+    sim = Simulator()
+    topo = Topology(4, one_way_delay=0.01, bandwidth_bps=1e8)
+    net = Network(sim, topo, RngRegistry(1))
+    received = []
+    for node in range(4):
+        net.register(node, lambda env: received.append(env))
+    for src, dst, size in sends:
+        net.send(src, dst, "m", size, (src, dst, size))
+    sim.run()
+    assert len(received) == len(sends)
+    assert sorted(env.payload for env in received) == sorted(sends)
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=1_000_000),
+             min_size=1, max_size=30)
+)
+@settings(max_examples=40)
+def test_uplink_serialization_total_time(sizes_bytes):
+    """Back-to-back sends take exactly the sum of transmission times."""
+    from repro.sim import Network, RngRegistry, Simulator
+    from repro.sim.topology import Topology
+
+    bandwidth = 8e6  # 1 byte per microsecond
+    sim = Simulator()
+    topo = Topology(2, one_way_delay=0.0, bandwidth_bps=bandwidth)
+    net = Network(sim, topo, RngRegistry(1))
+    arrivals = []
+    net.register(0, lambda env: None)
+    net.register(1, lambda env: arrivals.append(sim.now))
+    for size in sizes_bytes:
+        net.send(0, 1, "m", size, None)
+    sim.run()
+    expected_total = sum(size * 8 / bandwidth for size in sizes_bytes)
+    assert arrivals[-1] == pytest.approx(expected_total)
+    assert arrivals == sorted(arrivals)

@@ -1,0 +1,164 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.pending == 0
+    assert sim.processed == 0
+
+
+def test_schedule_and_run_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.5, lambda: fired.append(sim.now))
+    executed = sim.run_until(2.0)
+    assert executed == 1
+    assert fired == [1.5]
+    assert sim.now == 2.0
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_in_insertion_order():
+    sim = Simulator()
+    order = []
+    for name in "abcde":
+        sim.schedule(1.0, lambda name=name: order.append(name))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_run_until_leaves_future_events_queued():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(5.0, lambda: fired.append(5))
+    sim.run_until(2.0)
+    assert fired == [1]
+    assert sim.pending == 1
+    sim.run_until(6.0)
+    assert fired == [1, 5]
+
+
+def test_clock_advances_to_end_time_even_when_queue_drains():
+    sim = Simulator()
+    sim.schedule(0.5, lambda: None)
+    sim.run_until(10.0)
+    assert sim.now == 10.0
+
+
+def test_callbacks_can_schedule_more_events():
+    sim = Simulator()
+    fired = []
+
+    def chain(depth):
+        fired.append(sim.now)
+        if depth > 0:
+            sim.schedule(1.0, lambda: chain(depth - 1))
+
+    sim.schedule(1.0, lambda: chain(3))
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_cancelled_timer_does_not_fire():
+    sim = Simulator()
+    fired = []
+    timer = sim.schedule(1.0, lambda: fired.append("x"))
+    timer.cancel()
+    sim.run()
+    assert fired == []
+    assert not timer.active
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    timer = sim.schedule(1.0, lambda: None)
+    timer.cancel()
+    timer.cancel()
+    sim.run()
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    fired = []
+    timer = sim.schedule(1.0, lambda: fired.append("x"))
+    sim.run()
+    timer.cancel()
+    assert fired == ["x"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_max_events_caps_execution():
+    sim = Simulator()
+    for _ in range(10):
+        sim.schedule(1.0, lambda: None)
+    executed = sim.run(max_events=4)
+    assert executed == 4
+    assert sim.pending == 6
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run_until(10.0)
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, reenter)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_drain_cancelled_removes_dead_events():
+    sim = Simulator()
+    timers = [sim.schedule(1.0, lambda: None) for _ in range(5)]
+    for timer in timers[:4]:
+        timer.cancel()
+    sim.drain_cancelled()
+    assert sim.pending == 1
+
+
+def test_timer_deadline_exposed():
+    sim = Simulator()
+    timer = sim.schedule(2.5, lambda: None)
+    assert timer.deadline == pytest.approx(2.5)
+
+
+def test_processed_counter_excludes_cancelled():
+    sim = Simulator()
+    keep = sim.schedule(1.0, lambda: None)
+    dead = sim.schedule(1.0, lambda: None)
+    dead.cancel()
+    sim.run()
+    assert sim.processed == 1
+    assert keep.deadline == 1.0

@@ -1,0 +1,230 @@
+"""Unit tests for the network substrate: serialization, priority, limiter."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Channel, Network, TokenBucket
+from repro.sim.rng import RngRegistry
+from repro.sim.topology import Topology
+
+
+def make_network(n=3, bandwidth=8_000_000, delay=0.01, proc=0.0):
+    """8 Mb/s network: a 1 MB message takes exactly 1 s to serialize."""
+    sim = Simulator()
+    topo = Topology(n, one_way_delay=delay, bandwidth_bps=bandwidth,
+                    proc_per_message=proc)
+    net = Network(sim, topo, RngRegistry(1))
+    inboxes = {i: [] for i in range(n)}
+    for i in range(n):
+        net.register(i, lambda env, i=i: inboxes[i].append((net.sim.now, env)))
+    return sim, net, inboxes
+
+
+def test_delivery_time_is_serialization_plus_propagation():
+    sim, net, inboxes = make_network()
+    net.send(0, 1, "m", 1_000_000, "payload")
+    sim.run()
+    when, env = inboxes[1][0]
+    assert when == pytest.approx(1.0 + 0.01)
+    assert env.payload == "payload"
+    assert env.src == 0 and env.dst == 1
+
+
+def test_messages_serialize_back_to_back():
+    sim, net, inboxes = make_network()
+    net.send(0, 1, "m", 1_000_000, "a")
+    net.send(0, 1, "m", 1_000_000, "b")
+    sim.run()
+    times = [when for when, _ in inboxes[1]]
+    assert times[0] == pytest.approx(1.01)
+    assert times[1] == pytest.approx(2.01)
+
+
+def test_broadcast_serializes_one_copy_per_recipient():
+    sim, net, inboxes = make_network(n=4)
+    net.broadcast(0, "m", 1_000_000, "x")
+    sim.run()
+    arrival_times = sorted(
+        when for node in (1, 2, 3) for when, _ in inboxes[node]
+    )
+    # Copies leave the uplink at 1s, 2s, 3s.
+    assert arrival_times == pytest.approx([1.01, 2.01, 3.01])
+
+
+def test_consensus_priority_preempts_queued_data():
+    sim, net, inboxes = make_network()
+    # Two large data messages queued, then one consensus message: the
+    # consensus message must jump the queue (sent after the in-flight one).
+    net.send(0, 1, "data", 1_000_000, "d1", Channel.DATA)
+    net.send(0, 1, "data", 1_000_000, "d2", Channel.DATA)
+    net.send(0, 1, "vote", 1_000, "v", Channel.CONSENSUS)
+    sim.run()
+    kinds_in_order = [env.kind for _, env in inboxes[1]]
+    assert kinds_in_order == ["data", "vote", "data"]
+
+
+def test_loopback_is_free_and_fast():
+    sim, net, inboxes = make_network()
+    net.send(1, 1, "self", 1_000_000, "me")
+    sim.run()
+    when, env = inboxes[1][0]
+    assert when == 0.0
+    assert net.stats.node_bytes(1) == 0.0
+
+
+def test_stats_accumulate_bytes_by_kind():
+    sim, net, _ = make_network()
+    net.send(0, 1, "mb", 500, None)
+    net.send(0, 2, "mb", 700, None)
+    net.send(1, 2, "vote", 100, None)
+    sim.run()
+    assert net.stats.node_bytes(0) == 1200
+    assert net.stats.node_bytes(0, "mb") == 1200
+    assert net.stats.kind_bytes("vote") == 100
+    assert net.stats.messages_sent["mb"] == 2
+    assert net.stats.messages_delivered == 3
+
+
+def test_drop_filter_drops_and_counts():
+    sim, net, inboxes = make_network()
+    net.set_drop_filter(lambda env: env.kind == "lossy")
+    net.send(0, 1, "lossy", 100, None)
+    net.send(0, 1, "ok", 100, None)
+    sim.run()
+    assert [env.kind for _, env in inboxes[1]] == ["ok"]
+    assert net.stats.messages_dropped == 1
+
+
+def test_unregistered_nodes_rejected():
+    sim, net, _ = make_network()
+    with pytest.raises(ValueError):
+        net.send(0, 99, "m", 10, None)
+
+
+def test_double_registration_rejected():
+    sim, net, _ = make_network()
+    with pytest.raises(ValueError):
+        net.register(0, lambda env: None)
+
+
+def test_queued_bytes_tracks_backlog():
+    sim, net, _ = make_network()
+    net.send(0, 1, "m", 1_000_000, None)
+    net.send(0, 1, "m", 1_000_000, None)
+    net.send(0, 1, "m", 1_000_000, None)
+    # First is in flight; two are queued.
+    assert net.queued_bytes(0) == 2_000_000
+    sim.run()
+    assert net.queued_bytes(0) == 0
+
+
+def test_broadcast_recipients_subset():
+    sim, net, inboxes = make_network(n=4)
+    net.broadcast(0, "m", 100, None, recipients=[2, 3])
+    sim.run()
+    assert len(inboxes[1]) == 0
+    assert len(inboxes[2]) == 1
+    assert len(inboxes[3]) == 1
+
+
+def test_processing_cost_serializes_receives():
+    sim, net, inboxes = make_network(proc=0.010)
+    # Two tiny messages from different senders arrive together; the
+    # receiver processes them 10 ms apart.
+    net.send(0, 2, "m", 800, "a")
+    net.send(1, 2, "m", 800, "b")
+    sim.run()
+    times = sorted(when for when, _ in inboxes[2])
+    assert times[1] - times[0] == pytest.approx(0.010)
+
+
+def test_processing_priority_favors_consensus():
+    sim, net, inboxes = make_network(proc=0.010)
+    # Queue several data messages and one consensus message arriving
+    # together; the consensus one must be processed before remaining data.
+    for _ in range(3):
+        net.send(0, 2, "data", 800, None, Channel.DATA)
+    net.send(1, 2, "vote", 800, None, Channel.CONSENSUS)
+    sim.run()
+    kinds = [env.kind for _, env in sorted(inboxes[2], key=lambda p: p[0])]
+    assert kinds.index("vote") <= 1
+
+
+class TestTokenBucket:
+    def test_admits_within_burst_immediately(self):
+        bucket = TokenBucket(rate_bytes_per_s=1000, burst_bytes=5000)
+        assert bucket.ready_at(0.0, 5000) == 0.0
+
+    def test_defers_when_empty(self):
+        bucket = TokenBucket(rate_bytes_per_s=1000, burst_bytes=1000)
+        bucket.consume(0.0, 1000)
+        assert bucket.ready_at(0.0, 500) == pytest.approx(0.5)
+
+    def test_refills_over_time(self):
+        bucket = TokenBucket(rate_bytes_per_s=1000, burst_bytes=1000)
+        bucket.consume(0.0, 1000)
+        assert bucket.ready_at(2.0, 1000) == pytest.approx(2.0)
+
+    def test_burst_caps_refill(self):
+        bucket = TokenBucket(rate_bytes_per_s=1000, burst_bytes=1000)
+        assert bucket.ready_at(100.0, 1000) == pytest.approx(100.0)
+        bucket.consume(100.0, 1000)
+        assert bucket.ready_at(100.0, 1000) == pytest.approx(101.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0, 100)
+        with pytest.raises(ValueError):
+            TokenBucket(100, 0)
+
+
+def test_data_limiter_throttles_data_channel():
+    sim, net, inboxes = make_network()
+    # 1000 B/s limiter, tiny burst: second 500-byte message waits ~0.5 s.
+    net.set_data_limiter(0, rate_bytes_per_s=1000, burst_bytes=500)
+    net.send(0, 1, "d", 500, "a", Channel.DATA)
+    net.send(0, 1, "d", 500, "b", Channel.DATA)
+    sim.run()
+    times = [when for when, _ in inboxes[1]]
+    assert times[1] - times[0] == pytest.approx(0.5, abs=0.01)
+
+
+def test_limiter_does_not_delay_consensus():
+    sim, net, inboxes = make_network()
+    net.set_data_limiter(0, rate_bytes_per_s=10, burst_bytes=10)
+    net.send(0, 1, "d", 1000, None, Channel.DATA)   # needs 99 s of tokens
+    net.send(0, 1, "v", 1000, None, Channel.CONSENSUS)
+    sim.run_until(5.0)
+    kinds = [env.kind for _, env in inboxes[1]]
+    assert "v" in kinds and "d" not in kinds
+
+
+def test_priority_disabled_single_fifo():
+    sim = Simulator()
+    topo = Topology(3, one_way_delay=0.01, bandwidth_bps=8_000_000)
+    net = Network(sim, topo, RngRegistry(1), priority_channels=False)
+    inbox = []
+    for i in range(3):
+        net.register(i, lambda env, i=i: inbox.append(env.kind) if i == 1 else None)
+    net.send(0, 1, "data1", 1_000_000, None, Channel.DATA)
+    net.send(0, 1, "data2", 1_000_000, None, Channel.DATA)
+    net.send(0, 1, "vote", 1_000, None, Channel.CONSENSUS)
+    sim.run()
+    # Without priority classes the vote waits its FIFO turn.
+    assert inbox == ["data1", "data2", "vote"]
+
+
+def test_control_channel_between_consensus_and_data():
+    sim = Simulator()
+    topo = Topology(3, one_way_delay=0.01, bandwidth_bps=8_000_000)
+    net = Network(sim, topo, RngRegistry(1))
+    inbox = []
+    net.register(0, lambda env: None)
+    net.register(1, lambda env: inbox.append(env.kind))
+    net.register(2, lambda env: None)
+    net.send(0, 1, "d1", 1_000_000, None, Channel.DATA)   # in flight
+    net.send(0, 1, "d2", 1_000_000, None, Channel.DATA)
+    net.send(0, 1, "ctrl", 1_000, None, Channel.CONTROL)
+    net.send(0, 1, "vote", 1_000, None, Channel.CONSENSUS)
+    sim.run()
+    assert inbox == ["d1", "vote", "ctrl", "d2"]

@@ -1,0 +1,116 @@
+"""Unit tests for the stable-time workload estimator."""
+
+import pytest
+
+from repro.mempool.stratus.estimator import StableTimeEstimator
+
+
+def make_estimator(**kwargs):
+    defaults = dict(window=10, percentile=95.0, busy_margin=2.0,
+                    busy_slack=0.01)
+    defaults.update(kwargs)
+    return StableTimeEstimator(**defaults)
+
+
+def test_no_samples_not_busy_and_status_zero():
+    estimator = make_estimator()
+    assert not estimator.is_busy()
+    assert estimator.load_status() == 0.0
+    assert estimator.estimate() is None
+
+
+def test_baseline_tracks_minimum_with_slow_drift():
+    estimator = make_estimator()
+    for value in (0.5, 0.2, 0.8, 0.3):
+        estimator.record(value)
+    # The floor anchors near the minimum; it may creep up by the drift
+    # factor (1% per sample) after the minimum was seen.
+    assert estimator.baseline == pytest.approx(0.2, rel=0.03)
+
+
+def test_baseline_recovers_from_one_lucky_sample():
+    """A single unusually fast ST must not lower the busy bar forever."""
+    estimator = make_estimator(window=10)
+    estimator.record(0.001)  # lucky outlier
+    for _ in range(500):
+        estimator.record(0.1)  # the true steady state
+    assert estimator.baseline > 0.05
+    assert not estimator.is_busy()
+
+
+def test_constant_load_is_not_busy():
+    estimator = make_estimator()
+    for _ in range(20):
+        estimator.record(0.1)
+    assert not estimator.is_busy()
+    assert estimator.load_status() == pytest.approx(0.1)
+
+
+def test_spike_makes_busy():
+    estimator = make_estimator()
+    for _ in range(10):
+        estimator.record(0.1)
+    for _ in range(10):
+        estimator.record(1.0)  # fills the window with congested STs
+    assert estimator.is_busy()
+    assert estimator.load_status() is None
+
+
+def test_recovery_after_spike():
+    estimator = make_estimator()
+    for _ in range(10):
+        estimator.record(0.1)
+    for _ in range(10):
+        estimator.record(1.0)
+    assert estimator.is_busy()
+    for _ in range(10):
+        estimator.record(0.1)  # window slides past the spike
+    assert not estimator.is_busy()
+
+
+def test_percentile_ignores_minority_outliers():
+    estimator = make_estimator(percentile=50.0)
+    for _ in range(9):
+        estimator.record(0.1)
+    estimator.record(5.0)  # single outlier above the median
+    assert not estimator.is_busy()
+
+
+def test_too_few_samples_never_busy():
+    estimator = make_estimator()
+    for _ in range(4):
+        estimator.record(10.0)
+    assert not estimator.is_busy()
+
+
+def test_window_slides():
+    estimator = make_estimator(window=5)
+    for value in (1.0, 1.0, 1.0, 1.0, 1.0, 0.1, 0.1, 0.1, 0.1, 0.1):
+        estimator.record(value)
+    assert estimator.estimate() == pytest.approx(0.1)
+
+
+def test_estimate_is_nth_percentile():
+    estimator = make_estimator(window=100, percentile=90.0)
+    for value in range(1, 11):
+        estimator.record(float(value))
+    assert estimator.estimate() == pytest.approx(9.0)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        StableTimeEstimator(window=0)
+    with pytest.raises(ValueError):
+        StableTimeEstimator(percentile=0)
+    with pytest.raises(ValueError):
+        StableTimeEstimator(busy_margin=0.5)
+    estimator = make_estimator()
+    with pytest.raises(ValueError):
+        estimator.record(-1.0)
+
+
+def test_sample_count():
+    estimator = make_estimator(window=3)
+    for _ in range(10):
+        estimator.record(0.1)
+    assert estimator.sample_count == 10

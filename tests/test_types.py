@@ -1,0 +1,164 @@
+"""Unit tests for core data types and wire sizes."""
+
+import pytest
+
+from repro.crypto import AvailabilityProof
+from repro.types import (
+    MicroBlock,
+    Payload,
+    PayloadEntry,
+    TxBatch,
+    make_microblock_id,
+    sizes,
+)
+from repro.types.microblock import microblock_origin
+from repro.types.proposal import Block, Proposal, make_block_id
+from repro.crypto.certificates import GENESIS_QC
+
+
+def make_mb(origin=0, counter=0, tx_count=10, payload=128, created=1.0):
+    return MicroBlock(
+        id=make_microblock_id(origin, counter),
+        origin=origin,
+        tx_count=tx_count,
+        tx_payload=payload,
+        created_at=created,
+        sum_arrival=created * tx_count,
+    )
+
+
+class TestTxBatch:
+    def test_totals(self):
+        batch = TxBatch(count=10, payload_bytes=128, mean_arrival=2.0)
+        assert batch.total_bytes == 1280
+        assert batch.sum_arrival == pytest.approx(20.0)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            TxBatch(count=0, payload_bytes=128, mean_arrival=0.0)
+
+    def test_invalid_payload(self):
+        with pytest.raises(ValueError):
+            TxBatch(count=1, payload_bytes=0, mean_arrival=0.0)
+
+
+class TestMicroBlockId:
+    def test_uniqueness_across_origins_and_counters(self):
+        ids = {
+            make_microblock_id(origin, counter)
+            for origin in range(50)
+            for counter in range(50)
+        }
+        assert len(ids) == 2500
+
+    def test_origin_recoverable(self):
+        mb_id = make_microblock_id(37, 123456)
+        assert microblock_origin(mb_id) == 37
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_microblock_id(-1, 0)
+        with pytest.raises(ValueError):
+            make_microblock_id(0, -1)
+
+
+class TestMicroBlock:
+    def test_size_includes_header(self):
+        mb = make_mb(tx_count=100)
+        assert mb.size_bytes == sizes.MICROBLOCK_HEADER + 100 * 128
+
+    def test_mean_arrival(self):
+        mb = MicroBlock(
+            id=1, origin=0, tx_count=4, tx_payload=128,
+            created_at=3.0, sum_arrival=8.0,
+        )
+        assert mb.mean_arrival == pytest.approx(2.0)
+
+    def test_empty_microblock_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBlock(id=1, origin=0, tx_count=0, tx_payload=128,
+                       created_at=0.0, sum_arrival=0.0)
+
+
+class TestPayload:
+    def test_id_payload_size(self):
+        payload = Payload(entries=(
+            PayloadEntry(mb_id=1), PayloadEntry(mb_id=2),
+        ))
+        assert payload.size_bytes == 2 * sizes.MICROBLOCK_ID
+        assert payload.microblock_ids == (1, 2)
+        assert not payload.is_empty
+
+    def test_proven_payload_size_includes_proofs(self):
+        proof = AvailabilityProof(mb_id=1, signers=(0, 1, 2))
+        payload = Payload(entries=(PayloadEntry(mb_id=1, proof=proof),))
+        expected = sizes.MICROBLOCK_ID + proof.size_bytes
+        assert payload.size_bytes == expected
+
+    def test_embedded_payload_size(self):
+        mb = make_mb(tx_count=10)
+        payload = Payload(embedded=(mb,))
+        assert payload.size_bytes == mb.size_bytes
+        assert payload.microblock_ids == (mb.id,)
+
+    def test_empty(self):
+        assert Payload().is_empty
+        assert Payload().size_bytes == 0
+
+
+class TestProposalAndBlock:
+    def make_proposal(self, payload=None):
+        return Proposal(
+            block_id=make_block_id(3, 7), view=5, height=4, proposer=3,
+            parent_id=0, justify=GENESIS_QC,
+            payload=payload if payload is not None else Payload(),
+        )
+
+    def test_block_id_nonzero(self):
+        assert make_block_id(0, 0) != 0
+
+    def test_block_ids_unique(self):
+        ids = {make_block_id(p, c) for p in range(20) for c in range(20)}
+        assert len(ids) == 400
+
+    def test_proposal_size_has_header_and_qc(self):
+        proposal = self.make_proposal()
+        assert proposal.size_bytes == (
+            sizes.PROPOSAL_HEADER + sizes.QC
+        )
+
+    def test_block_fullness(self):
+        mb = make_mb()
+        payload = Payload(entries=(PayloadEntry(mb_id=mb.id),))
+        block = Block(proposal=self.make_proposal(payload))
+        assert not block.is_full
+        assert block.missing_ids == [mb.id]
+        block.microblocks[mb.id] = mb
+        assert block.is_full
+        assert block.tx_count == mb.tx_count
+
+    def test_empty_block_is_full(self):
+        block = Block(proposal=self.make_proposal())
+        assert block.is_full
+        assert block.tx_count == 0
+
+
+class TestSizes:
+    def test_microblock_bytes(self):
+        assert sizes.microblock_bytes(0) == sizes.MICROBLOCK_HEADER
+        assert sizes.microblock_bytes(10, 256) == (
+            sizes.MICROBLOCK_HEADER + 2560
+        )
+
+    def test_microblock_bytes_negative(self):
+        with pytest.raises(ValueError):
+            sizes.microblock_bytes(-1)
+
+    def test_proof_bytes_scale_with_quorum(self):
+        small = sizes.availability_proof_bytes(2)
+        large = sizes.availability_proof_bytes(20)
+        assert large - small == 18 * sizes.SIGNATURE
+
+    def test_proof_bytes_invalid(self):
+        with pytest.raises(ValueError):
+            sizes.availability_proof_bytes(0)

@@ -1,0 +1,133 @@
+"""Unit tests for workload generation and replica selection."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.types import TxBatch
+from repro.workload import (
+    UniformSelector,
+    WorkloadGenerator,
+    ZipfSelector,
+    zipf_weights,
+)
+
+
+class Sink:
+    def __init__(self):
+        self.batches: list[TxBatch] = []
+
+    def on_client_batch(self, batch):
+        self.batches.append(batch)
+
+    @property
+    def total(self):
+        return sum(batch.count for batch in self.batches)
+
+
+class TestZipf:
+    def test_weights_decreasing(self):
+        weights = zipf_weights(100, s=1.01, v=1.0)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_shares_sum_to_one(self):
+        selector = ZipfSelector(50, s=1.01, v=1.0)
+        assert sum(selector.shares()) == pytest.approx(1.0)
+
+    def test_zipf1_more_skewed_than_zipf10(self):
+        zipf1 = ZipfSelector(100, s=1.01, v=1.0)
+        zipf10 = ZipfSelector(100, s=1.01, v=10.0)
+        assert zipf1.share_of(0) > zipf10.share_of(0)
+
+    def test_zipf1_head_dominates(self):
+        # With s=1.01, v=1 the most popular replica carries a large share.
+        selector = ZipfSelector(100, s=1.01, v=1.0)
+        assert selector.share_of(0) > 0.15
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.01, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, 1.01, 0.5)
+
+    def test_uniform_shares(self):
+        selector = UniformSelector(4)
+        assert selector.shares() == [0.25] * 4
+
+
+class TestWorkloadGenerator:
+    def run_generator(self, rate, seconds=2.0, n=4, selector=None, tick=0.01):
+        sim = Simulator()
+        sinks = [Sink() for _ in range(n)]
+        generator = WorkloadGenerator(
+            sim, sinks, rate_tps=rate, tx_payload=128,
+            selector=selector or UniformSelector(n), tick=tick,
+        )
+        generator.start()
+        sim.run_until(seconds)
+        return sim, sinks, generator
+
+    def test_rate_is_exact_in_the_long_run(self):
+        _, sinks, generator = self.run_generator(rate=1000, seconds=2.0)
+        assert generator.emitted_tx_count == pytest.approx(2000, abs=50)
+        assert sum(sink.total for sink in sinks) == generator.emitted_tx_count
+
+    def test_uniform_split(self):
+        _, sinks, _ = self.run_generator(rate=4000, seconds=1.0)
+        totals = [sink.total for sink in sinks]
+        for total in totals:
+            assert total == pytest.approx(1000, rel=0.05)
+
+    def test_zipf_split_skewed(self):
+        selector = ZipfSelector(4, s=1.01, v=1.0)
+        _, sinks, _ = self.run_generator(
+            rate=4000, seconds=1.0, selector=selector)
+        totals = [sink.total for sink in sinks]
+        assert totals[0] > totals[1] > totals[3]
+
+    def test_low_rate_accumulates_remainders(self):
+        # 10 tps over 4 replicas at 10 ms ticks: far below 1 tx per tick.
+        _, sinks, generator = self.run_generator(rate=10, seconds=4.0)
+        assert generator.emitted_tx_count == pytest.approx(40, abs=5)
+
+    def test_batches_carry_arrival_times(self):
+        _, sinks, _ = self.run_generator(rate=1000, seconds=0.1)
+        batch = sinks[0].batches[0]
+        assert 0.0 <= batch.mean_arrival <= 0.1
+
+    def test_stop_halts_emission(self):
+        sim = Simulator()
+        sinks = [Sink()]
+        generator = WorkloadGenerator(
+            sim, sinks, rate_tps=1000, tx_payload=128,
+            selector=UniformSelector(1),
+        )
+        generator.start()
+        sim.run_until(0.5)
+        emitted = generator.emitted_tx_count
+        generator.stop()
+        sim.run_until(2.0)
+        assert generator.emitted_tx_count == emitted
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        generator = WorkloadGenerator(
+            sim, [Sink()], rate_tps=10, tx_payload=128,
+            selector=UniformSelector(1),
+        )
+        generator.start()
+        with pytest.raises(RuntimeError):
+            generator.start()
+
+    def test_selector_size_mismatch_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            WorkloadGenerator(
+                sim, [Sink(), Sink()], rate_tps=10, tx_payload=128,
+                selector=UniformSelector(3),
+            )
+
+    def test_zero_rate_emits_nothing(self):
+        _, sinks, generator = self.run_generator(rate=0.0, seconds=1.0)
+        assert generator.emitted_tx_count == 0
