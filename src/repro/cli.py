@@ -17,11 +17,16 @@ script.
 from __future__ import annotations
 
 import argparse
+import math
+from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.faults import FaultSchedule
 from repro.harness import (
+    CHAOS_PRESET_NAMES,
     ExperimentConfig,
     PROTOCOL_PRESETS,
+    chaos_schedule,
     format_table,
     run_experiment,
     tuned_protocol,
@@ -65,6 +70,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--disturb", nargs=2, type=float, default=None,
                         metavar=("START", "DURATION"),
                         help="inject a Fig.7-style disturbance window")
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="scripted fault schedule: a chaos preset name "
+             f"({', '.join(CHAOS_PRESET_NAMES)}), inline JSON "
+             '(\'[{"event": "crash", "at": 2.0, "node": 3}, ...]\'), '
+             "or @file.json",
+    )
     parser.add_argument("--timeline", action="store_true",
                         help="print a per-second throughput timeline")
     return parser
@@ -91,8 +103,37 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
             base=0.1, jitter=0.05, throughput_factor=0.15,
         )
 
+    def resolve_faults(n: int) -> Optional[FaultSchedule]:
+        # Preset schedules depend on n (the crash victim is the highest
+        # id), so resolution happens per run inside the sweep loop.
+        if args.faults is None:
+            return None
+        try:
+            if args.faults in CHAOS_PRESET_NAMES:
+                return chaos_schedule(args.faults, n)
+            if args.faults.startswith("@"):
+                path = Path(args.faults[1:])
+                if not path.exists():
+                    raise SystemExit(
+                        f"fault schedule file not found: {path}"
+                    )
+                text = path.read_text()
+            else:
+                text = args.faults
+            schedule = FaultSchedule.from_json(text)
+            schedule.validate(n)
+            return schedule
+        except ValueError as exc:
+            # Covers JSONDecodeError too; a typo'd preset name lands here.
+            raise SystemExit(
+                f"bad --faults spec: {exc}\n"
+                f"expected a chaos preset ({', '.join(CHAOS_PRESET_NAMES)}), "
+                "@file, or an inline JSON schedule"
+            ) from exc
+
     rows = []
     timelines = []
+    fault_reports = []
     for preset in args.preset:
         for n in args.n:
             protocol = tuned_protocol(
@@ -110,8 +151,13 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
                 fault=args.fault,
                 fault_count=args.fault_count,
                 fluctuation=fluctuation,
+                faults=resolve_faults(n),
                 label=f"{preset}-n{n}",
             ))
+            if args.faults is not None:
+                fault_reports.append(
+                    (result.label, result.metrics.fault_report())
+                )
             rows.append([
                 preset, n,
                 f"{result.throughput_tps:,.0f}",
@@ -131,11 +177,36 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
         title=(f"{args.topology.upper()} @ {args.rate:,.0f} tx/s offered, "
                f"{args.duration:.0f}s window"),
     ))
+    for label, report in fault_reports:
+        fault_rows = [
+            [
+                entry["kind"],
+                entry["label"] or "-",
+                f"{entry['start']:.2f}",
+                _fmt_time(entry["end"]),
+                ",".join(map(str, entry["nodes"])) or "all",
+                f"{entry['throughput_tps']:,.0f}",
+                _fmt_time(entry["commit_gap"]),
+                _fmt_time(entry["time_to_recover"]),
+            ]
+            for entry in report
+        ]
+        print()
+        print(format_table(
+            ["fault", "label", "start", "end", "nodes", "tput (tx/s)",
+             "commit gap (s)", "recover (s)"],
+            fault_rows,
+            title=f"{label} fault windows",
+        ))
     for label, series in timelines:
         print(f"\n{label} timeline (t -> tx/s):")
         for t, value in series:
             print(f"  {t:5.0f}s  {value:>12,.0f}")
     return 0
+
+
+def _fmt_time(value: float) -> str:
+    return "never" if math.isinf(value) else f"{value:.2f}"
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -50,6 +50,15 @@ class ProtocolConfig:
     recovery_fetch_delay: Optional[float] = None
     fetch_sample_fraction: float = 0.25  # share of signers asked per round
     fetch_max_targets: int = 4
+    # Retry rounds back off exponentially with jitter so a dead or
+    # partitioned holder is not hammered at a fixed cadence, and give up
+    # after ``fetch_max_rounds`` rounds (0 = retry forever). Abandoned
+    # fetches are counted in metrics; GC'd or equivocated microblocks
+    # would otherwise be chased for the rest of the run.
+    fetch_backoff_factor: float = 1.5
+    fetch_backoff_max: float = 2.0  # cap on the backed-off delay, seconds
+    fetch_jitter: float = 0.1  # +/- fraction applied to each retry delay
+    fetch_max_rounds: int = 25
 
     # -- DLB ---------------------------------------------------------------
     load_balancing: bool = False
@@ -105,6 +114,19 @@ class ProtocolConfig:
             raise ValueError(
                 "fetch_sample_fraction must be in (0, 1], "
                 f"got {self.fetch_sample_fraction}"
+            )
+        if self.fetch_backoff_factor < 1.0:
+            raise ValueError(
+                "fetch_backoff_factor must be >= 1, "
+                f"got {self.fetch_backoff_factor}"
+            )
+        if not 0.0 <= self.fetch_jitter < 1.0:
+            raise ValueError(
+                f"fetch_jitter must be in [0, 1), got {self.fetch_jitter}"
+            )
+        if self.fetch_max_rounds < 0:
+            raise ValueError(
+                f"fetch_max_rounds must be >= 0, got {self.fetch_max_rounds}"
             )
         if len(self.byzantine) > self.f:
             raise ValueError(

@@ -46,6 +46,21 @@ class ConsensusEngine(abc.ABC):
     def current_leader(self) -> int:
         """Leader of the current view/epoch (used by attackers too)."""
 
+    def suspend(self) -> None:
+        """Freeze local timers; the replica crashed.
+
+        Message delivery is already cut off by the network's down state;
+        this hook only stops the engine's self-scheduled clocks (view
+        timers, epoch clocks, proposal pumps) so a dead replica neither
+        records view-changes nor proposes into the void."""
+
+    def resume(self) -> None:
+        """Re-arm the timers cancelled by :meth:`suspend` (restart).
+
+        The engine rejoins at its pre-crash view/epoch; catching up to the
+        rest of the network happens through ordinary message handling
+        (newer proposals, chain sync)."""
+
     # -- helpers -----------------------------------------------------------
 
     @property

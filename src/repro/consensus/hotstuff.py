@@ -86,6 +86,19 @@ class HotStuff(ConsensusEngine):
     def current_leader(self) -> int:
         return self.leader_of(max(self.cur_view, 1))
 
+    def suspend(self) -> None:
+        if self._view_timer is not None:
+            self._view_timer.cancel()
+            self._view_timer = None
+
+    def resume(self) -> None:
+        view = self.cur_view
+        if view <= 0:
+            return
+        self._view_timer = self.host.sim.schedule(
+            self.config.view_timeout, lambda: self._on_timeout(view)
+        )
+
     # -- view management -----------------------------------------------
 
     def _enter_view(self, view: int, justify: Optional[QuorumCert] = None) -> None:

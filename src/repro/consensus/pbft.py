@@ -59,6 +59,12 @@ class Pbft(ConsensusEngine):
     def current_leader(self) -> int:
         return self.leader_of(0)
 
+    def resume(self) -> None:
+        # The pump chain dies while the replica is silent (crashed); the
+        # leader must restart it or the pipeline stalls forever.
+        if self.current_leader() == self.node_id:
+            self._pump()
+
     # -- leader ----------------------------------------------------------
 
     def _pump(self) -> None:

@@ -51,6 +51,7 @@ class Streamlet(ConsensusEngine):
         self._voted_epochs: set[int] = set()
         self._abandoned: set[int] = set()
         self._block_counter = 0
+        self._epoch_timer = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -60,11 +61,28 @@ class Streamlet(ConsensusEngine):
     def current_leader(self) -> int:
         return self.leader_of(max(self.epoch, 1))
 
+    def suspend(self) -> None:
+        if self._epoch_timer is not None:
+            self._epoch_timer.cancel()
+            self._epoch_timer = None
+
+    def resume(self) -> None:
+        # Epochs advance by synchronized local clocks, so a restarted
+        # replica rejoins at the wall-clock epoch, not where it left off.
+        period = self.config.streamlet_epoch
+        now = self.host.sim.now
+        self.epoch = max(self.epoch, int(now / period) + 1)
+        self._epoch_timer = self.host.sim.schedule_at(
+            max(self.epoch * period, now), self._next_epoch
+        )
+
     # -- epochs ------------------------------------------------------------
 
     def _next_epoch(self) -> None:
         self.epoch += 1
-        self.host.sim.schedule(self.config.streamlet_epoch, self._next_epoch)
+        self._epoch_timer = self.host.sim.schedule(
+            self.config.streamlet_epoch, self._next_epoch
+        )
         if (
             self.leader_of(self.epoch) == self.node_id
             and not self.host.behavior.silent

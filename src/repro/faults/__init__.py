@@ -1,0 +1,39 @@
+"""Scripted fault injection (the chaos layer).
+
+A :class:`FaultSchedule` declares timed events — replica crashes and
+restarts, set-based network partitions with automatic healing, loss
+windows, bandwidth squeezes, delay spikes, and mid-run behavior swaps —
+and a :class:`FaultInjector` compiles them onto the simulator's event
+queue. The injector composes with user drop filters
+(:meth:`repro.sim.network.Network.set_drop_filter` keeps working) and
+records every fault window in the metrics hub so runs report per-window
+throughput, commit gaps, and time-to-recover.
+"""
+
+from repro.faults.schedule import (
+    BandwidthSqueeze,
+    CrashReplica,
+    DelaySpike,
+    FaultEvent,
+    FaultSchedule,
+    Heal,
+    LossWindow,
+    Partition,
+    RestartReplica,
+    SwapBehavior,
+)
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjector",
+    "CrashReplica",
+    "RestartReplica",
+    "Partition",
+    "Heal",
+    "LossWindow",
+    "BandwidthSqueeze",
+    "DelaySpike",
+    "SwapBehavior",
+]

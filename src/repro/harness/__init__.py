@@ -1,6 +1,11 @@
 """Experiment harness: presets, builder/runner, and report formatting."""
 
-from repro.harness.presets import PROTOCOL_PRESETS, tuned_protocol
+from repro.harness.presets import (
+    CHAOS_PRESET_NAMES,
+    PROTOCOL_PRESETS,
+    chaos_schedule,
+    tuned_protocol,
+)
 from repro.harness.config import ExperimentConfig
 from repro.harness.runner import (
     ExperimentResult,
@@ -15,6 +20,8 @@ __all__ = [
     "ReplicatedResult",
     "run_replicated",
     "PROTOCOL_PRESETS",
+    "CHAOS_PRESET_NAMES",
+    "chaos_schedule",
     "tuned_protocol",
     "ExperimentConfig",
     "ExperimentResult",

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.config import ProtocolConfig
+from repro.faults import FaultSchedule
 from repro.sim.topology import FluctuationWindow
 
 SELECTORS = ("uniform", "zipf1", "zipf10")
@@ -33,6 +34,9 @@ class ExperimentConfig:
     attach_executor: bool = False
     priority_channels: bool = True
     fluctuation: Optional[FluctuationWindow] = None
+    #: Scripted fault schedule (crashes, partitions, loss windows...),
+    #: compiled onto the event queue by :class:`repro.faults.FaultInjector`.
+    faults: Optional[FaultSchedule] = None
     data_limiter: Optional[tuple[float, float]] = None  # (bytes/s, burst)
     label: str = ""
     extra: dict = field(default_factory=dict)
@@ -59,6 +63,8 @@ class ExperimentConfig:
             )
         if self.duration <= 0 or self.warmup < 0:
             raise ValueError("duration must be > 0 and warmup >= 0")
+        if self.faults is not None:
+            self.faults.validate(self.protocol.n)
 
     @property
     def end_time(self) -> float:

@@ -9,6 +9,15 @@ enough to ship their full-data proposals.
 from __future__ import annotations
 
 from repro.config import ProtocolConfig
+from repro.faults import (
+    BandwidthSqueeze,
+    CrashReplica,
+    DelaySpike,
+    FaultSchedule,
+    LossWindow,
+    Partition,
+    RestartReplica,
+)
 from repro.sim.topology import GBPS, MBPS
 
 PROTOCOL_PRESETS: dict[str, tuple[str, str]] = {
@@ -95,3 +104,69 @@ def tuned_protocol(
 
     settings.update(overrides)
     return ProtocolConfig(n=n, **settings)
+
+
+#: Named chaos schedules for the CLI's ``--faults`` flag. Each entry is a
+#: builder taking the replica count, because sensible targets depend on n
+#: (the crash victim is the highest id, never in the leader set under a
+#: ``fault_count`` run; partition groups must fit the membership).
+CHAOS_PRESET_NAMES = (
+    "crash-restart",
+    "crash-partition",
+    "fig7-disturbance",
+    "flaky-data",
+    "leader-squeeze",
+)
+
+
+def chaos_schedule(name: str, n: int) -> FaultSchedule:
+    """Build a named chaos preset for an ``n``-replica network.
+
+    * ``crash-restart`` — one replica dies at t=2 s and returns at t=4 s;
+      exercises queue flushing, timer suspension, and chain-sync catch-up.
+    * ``crash-partition`` — the crash above plus a 1 s partition isolating
+      replicas {0, 1} and a 20 % data-channel loss window; while the crash
+      and partition overlap no quorum exists anywhere, so the run shows a
+      stall, a heal, and a measurable time-to-recover.
+    * ``fig7-disturbance`` — the paper's Fig. 7 NetEm window as a fault
+      event: 10 s of 100 ms ± 50 ms one-way delay with TCP goodput
+      collapse, starting at t=5 s.
+    * ``flaky-data`` — 10 % loss on the DATA channel for 3 s: microblock
+      bodies go missing while small consensus messages survive, stressing
+      the fetch/recovery path specifically.
+    * ``leader-squeeze`` — replica 0's uplink drops to 10 % for 2 s
+      (the straggling-leader scenario of Problem II).
+    """
+    if n < 4:
+        raise ValueError(f"chaos presets need n >= 4, got n={n}")
+    victim = n - 1
+    if name == "crash-restart":
+        return FaultSchedule([
+            CrashReplica(at=2.0, node=victim),
+            RestartReplica(at=4.0, node=victim),
+        ])
+    if name == "crash-partition":
+        return FaultSchedule([
+            CrashReplica(at=2.0, node=victim),
+            Partition(at=2.5, duration=1.0, groups=((0, 1),)),
+            LossWindow(at=2.0, duration=2.0, rate=0.2, channel="data"),
+            RestartReplica(at=4.0, node=victim),
+        ])
+    if name == "fig7-disturbance":
+        return FaultSchedule([
+            DelaySpike(
+                at=5.0, duration=10.0, base=0.1, jitter=0.05,
+                bandwidth_factor=0.15,
+            ),
+        ])
+    if name == "flaky-data":
+        return FaultSchedule([
+            LossWindow(at=1.5, duration=3.0, rate=0.1, channel="data"),
+        ])
+    if name == "leader-squeeze":
+        return FaultSchedule([
+            BandwidthSqueeze(at=2.0, duration=2.0, factor=0.1, nodes=(0,)),
+        ])
+    raise ValueError(
+        f"unknown chaos preset {name!r}; choose from {CHAOS_PRESET_NAMES}"
+    )

@@ -12,18 +12,12 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.consensus import CONSENSUS_CLASSES
+from repro.faults import FaultInjector
 from repro.harness.config import ExperimentConfig
 from repro.kvstore import KVStore
 from repro.mempool import MEMPOOL_CLASSES, NativeMempool, SharedPendingPool
 from repro.metrics import MetricsHub, WeightedDigest
-from repro.replica import (
-    Behavior,
-    CensoringSender,
-    HonestBehavior,
-    LyingProxy,
-    Replica,
-    SilentReplica,
-)
+from repro.replica import Behavior, HonestBehavior, Replica, behavior_for
 from repro.sim import (
     Network,
     RngRegistry,
@@ -47,6 +41,7 @@ class RunningExperiment:
     replicas: list[Replica]
     metrics: MetricsHub
     generator: WorkloadGenerator
+    injector: Optional[FaultInjector] = None
 
     def run(self) -> "ExperimentResult":
         self.sim.run_until(self.config.end_time)
@@ -125,22 +120,7 @@ def _make_behavior(
 ) -> Optional[Behavior]:
     if node_id not in config.byzantine_ids:
         return HonestBehavior()
-    if config.fault == "silent":
-        return SilentReplica()
-    if config.fault == "censor":
-        protocol = config.protocol
-        if protocol.mempool == "stratus":
-            # PAB: needs q acks; its own counts, so q - 1 witnesses.
-            witnesses = protocol.stability_quorum - 1
-        elif protocol.mempool == "narwhal":
-            # Bracha RB: needs 2f + 1 echoes; its own counts.
-            witnesses = 2 * protocol.f
-        else:
-            witnesses = 0  # leader-only censoring (the SMP-HS attack)
-        return CensoringSender(min_witnesses=witnesses)
-    if config.fault == "lying":
-        return LyingProxy()
-    return HonestBehavior()
+    return behavior_for(config.fault, config.protocol)
 
 
 def build_experiment(config: ExperimentConfig) -> RunningExperiment:
@@ -199,6 +179,18 @@ def build_experiment(config: ExperimentConfig) -> RunningExperiment:
         replica.start()
     generator.start()
 
+    injector: Optional[FaultInjector] = None
+    if config.faults is not None:
+        injector = FaultInjector(
+            sim=sim,
+            network=network,
+            topology=topology,
+            replicas=replicas,
+            metrics=metrics,
+            rng=rng.stream("faults"),
+        )
+        injector.install(config.faults)
+
     return RunningExperiment(
         config=config,
         sim=sim,
@@ -207,6 +199,7 @@ def build_experiment(config: ExperimentConfig) -> RunningExperiment:
         replicas=replicas,
         metrics=metrics,
         generator=generator,
+        injector=injector,
     )
 
 

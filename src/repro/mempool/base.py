@@ -144,6 +144,14 @@ class Mempool(abc.ABC):
         they own so the content is eventually proposed again
         (SMP-Inclusion)."""
 
+    def on_restart(self) -> None:
+        """The host replica restarted after a crash (default: nothing).
+
+        Implementations resume work that was in flight when the crash
+        flushed the network queues — e.g. Stratus re-pushes microblocks
+        whose availability proofs never formed because the acks were
+        dropped."""
+
     # -- network ---------------------------------------------------------
 
     def on_message(self, envelope: Envelope) -> None:

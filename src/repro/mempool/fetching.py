@@ -25,6 +25,25 @@ if TYPE_CHECKING:  # pragma: no cover
 TargetProvider = Callable[[set[int]], list[int]]
 
 
+def backoff_delay(config: ProtocolConfig, rounds: int, rng) -> float:
+    """Retry delay after ``rounds`` completed rounds: exponential, jittered.
+
+    Shared by fetch retries and PAB push retransmissions. The first retry
+    waits ``fetch_timeout`` (delta in Algorithm 2); later ones grow by
+    ``fetch_backoff_factor`` up to ``fetch_backoff_max``, with
+    ``+/- fetch_jitter`` relative noise so synchronized retriers do not
+    re-converge on the same peer at the same instant.
+    """
+    base = config.fetch_timeout * (
+        config.fetch_backoff_factor ** (rounds - 1)
+    )
+    cap = max(config.fetch_backoff_max, config.fetch_timeout)
+    delay = min(base, cap)
+    if config.fetch_jitter > 0:
+        delay *= 1.0 + rng.uniform(-config.fetch_jitter, config.fetch_jitter)
+    return delay
+
+
 class _PendingFetch:
     __slots__ = ("mb_id", "targets_provider", "requested", "timer", "rounds")
 
@@ -94,12 +113,24 @@ class FetchManager:
             microblock,
         )
 
+    def cancel(self, mb_id: MicroBlockId) -> None:
+        """Stop fetching ``mb_id`` (e.g. its block was GC'd or abandoned)."""
+        pending = self._pending.pop(mb_id, None)
+        if pending is not None and pending.timer is not None:
+            pending.timer.cancel()
+
     # -- internal ----------------------------------------------------------
 
     def _round(self, pending: _PendingFetch) -> None:
         if pending.mb_id not in self._pending:
             return
         pending.rounds += 1
+        if (
+            self._config.fetch_max_rounds
+            and pending.rounds > self._config.fetch_max_rounds
+        ):
+            self._abandon(pending)
+            return
         targets = pending.targets_provider(pending.requested)
         if not targets:
             # Exhausted the candidate set; retry everyone next round.
@@ -117,8 +148,16 @@ class FetchManager:
             )
             self._host.metrics.record_fetch()
         pending.timer = self._host.sim.schedule(
-            self._config.fetch_timeout, lambda: self._round(pending)
+            backoff_delay(self._config, pending.rounds, self._host.rng),
+            lambda: self._round(pending),
         )
+
+    def _abandon(self, pending: _PendingFetch) -> None:
+        self._pending.pop(pending.mb_id, None)
+        if pending.timer is not None:
+            pending.timer.cancel()
+        self._host.metrics.record_fetch_abandoned()
+        self._host.trace("fetch_abandoned", microblock=pending.mb_id)
 
     def _delivered(self, mb_id: MicroBlockId) -> None:
         pending = self._pending.pop(mb_id, None)

@@ -52,6 +52,7 @@ class StratusMempool(Mempool):
             host, config, self.store, self.fetcher,
             on_proof=self._on_remote_proof,
             on_stable=self._on_stable,
+            retry_floor=self.estimator.estimate,
         )
         self.balancer = LoadBalancer(
             host, config, self.estimator, self.pab,
@@ -111,6 +112,11 @@ class StratusMempool(Mempool):
             return
         self.pab.broadcast_proof(mb_id, proof)
         self._add_available(mb_id, proof)
+
+    def on_restart(self) -> None:
+        repushed = self.pab.repush_pending()
+        if repushed:
+            self.host.trace("mb_repush", count=repushed)
 
     def _on_remote_proof(
         self, mb_id: MicroBlockId, proof: AvailabilityProof

@@ -29,7 +29,7 @@ from repro.crypto import (
     verify_availability_proof,
 )
 from repro.mempool.base import MessageKinds
-from repro.mempool.fetching import FetchManager, sampled_signers
+from repro.mempool.fetching import FetchManager, backoff_delay, sampled_signers
 from repro.mempool.store import MicroBlockStore
 from repro.sim.network import Channel, Envelope
 from repro.types import sizes
@@ -41,23 +41,37 @@ if TYPE_CHECKING:  # pragma: no cover
 OnAvailable = Callable[[MicroBlockId, AvailabilityProof], None]
 OnProof = Callable[[MicroBlockId, AvailabilityProof], None]
 
+#: Push retransmissions wait at least this multiple of the estimated
+#: stable time (the p-th percentile push->quorum interval). Acts like a
+#: TCP RTO: when the network is merely slow (congestion, delay spikes)
+#: acks are still coming, so retransmitting at the uncongested cadence
+#: would add load exactly when the network can least absorb it.
+RETRY_STABLE_TIME_FACTOR = 3.0
+
 
 class _PushState:
     """Ack bookkeeping for one PAB instance at its pusher."""
 
-    __slots__ = ("microblock", "acks", "started_at", "on_available", "done")
+    __slots__ = (
+        "microblock", "acks", "started_at", "on_available", "done",
+        "targets", "timer", "rounds",
+    )
 
     def __init__(
         self,
         microblock: MicroBlock,
         started_at: float,
         on_available: OnAvailable,
+        targets: list[int],
     ) -> None:
         self.microblock = microblock
         self.acks: list[Signature] = []
         self.started_at = started_at
         self.on_available = on_available
         self.done = False
+        self.targets = targets
+        self.timer = None
+        self.rounds = 1
 
 
 class PabEngine:
@@ -71,6 +85,7 @@ class PabEngine:
         fetcher: FetchManager,
         on_proof: OnProof,
         on_stable: Optional[Callable[[MicroBlockId, float], None]] = None,
+        retry_floor: Optional[Callable[[], Optional[float]]] = None,
     ) -> None:
         self._host = host
         self._config = config
@@ -78,6 +93,9 @@ class PabEngine:
         self._fetcher = fetcher
         self._on_proof = on_proof
         self._on_stable = on_stable
+        #: Current stable-time estimate in seconds (None = no data yet);
+        #: scales the retransmission interval under congestion.
+        self._retry_floor = retry_floor
         self._pushes: dict[MicroBlockId, _PushState] = {}
         self._proofs: dict[MicroBlockId, AvailabilityProof] = {}
 
@@ -97,14 +115,16 @@ class PabEngine:
         sender).
         """
         self._store.add(microblock)
-        state = _PushState(microblock, self._host.sim.now, on_available)
-        self._pushes[microblock.id] = state
-        state.acks.append(sign(self._host.node_id, microblock.id))
         if targets is None:
             targets = [
                 node for node in range(self._config.n)
                 if node != self._host.node_id
             ]
+        state = _PushState(
+            microblock, self._host.sim.now, on_available, list(targets)
+        )
+        self._pushes[microblock.id] = state
+        state.acks.append(sign(self._host.node_id, microblock.id))
         self._host.network.broadcast(
             self._host.node_id,
             MessageKinds.MICROBLOCK,
@@ -112,7 +132,59 @@ class PabEngine:
             microblock,
             recipients=targets,
         )
+        self._arm_retry(state)
         self._maybe_complete(state)
+
+    def repush_pending(self) -> int:
+        """Immediately retransmit pushes that never reached a quorum.
+
+        Hardened recovery path for crash-restart: acks sent while the
+        pusher was down were dropped with its ingress queue, so without a
+        nudge a stalled instance waits a full backoff period after the
+        restart. Returns the number of instances retransmitted.
+        """
+        stalled = [
+            state for state in self._pushes.values() if not state.done
+        ]
+        for state in stalled:
+            if state.timer is not None:
+                state.timer.cancel()
+                state.timer = None
+            self._retry_push(state)
+        return len(stalled)
+
+    def _arm_retry(self, state: _PushState) -> None:
+        delay = backoff_delay(self._config, state.rounds, self._host.rng)
+        if self._retry_floor is not None:
+            estimate = self._retry_floor()
+            if estimate is not None:
+                delay = max(delay, RETRY_STABLE_TIME_FACTOR * estimate)
+        state.timer = self._host.sim.schedule(
+            delay, lambda: self._retry_push(state)
+        )
+
+    def _retry_push(self, state: _PushState) -> None:
+        """Retransmit the body to targets that have not acked yet.
+
+        The prototype gets push-phase reliability from TCP; the simulated
+        network drops messages permanently (loss windows, partitions,
+        crashed receivers), so without retransmission a push below quorum
+        stalls forever and its transactions are never proposable.
+        """
+        if state.done or state.microblock.id not in self._pushes:
+            return
+        state.rounds += 1
+        acked = {ack.signer for ack in state.acks}
+        missing = [node for node in state.targets if node not in acked]
+        if missing:
+            self._host.network.broadcast(
+                self._host.node_id,
+                MessageKinds.MICROBLOCK,
+                state.microblock.size_bytes,
+                state.microblock,
+                recipients=missing,
+            )
+        self._arm_retry(state)
 
     def broadcast_proof(self, mb_id: MicroBlockId, proof: AvailabilityProof) -> None:
         """Start the recovery phase: disseminate the availability proof."""
@@ -129,9 +201,17 @@ class PabEngine:
         return self._proofs.get(mb_id)
 
     def discard(self, mb_id: MicroBlockId) -> None:
-        """Garbage-collect proof state for a committed microblock."""
+        """Garbage-collect proof state for a committed microblock.
+
+        Any outstanding recovery fetch is cancelled too — once the body
+        is discarded everywhere, its retry timer would otherwise keep
+        polling peers (and leak the pending entry) until the run ends.
+        """
         self._proofs.pop(mb_id, None)
-        self._pushes.pop(mb_id, None)
+        state = self._pushes.pop(mb_id, None)
+        if state is not None and state.timer is not None:
+            state.timer.cancel()
+        self._fetcher.cancel(mb_id)
 
     def fetch(self, mb_id: MicroBlockId, proof: AvailabilityProof) -> None:
         """``PAB-Fetch``: retrieve a missing body from the proof's signers.
@@ -208,6 +288,9 @@ class PabEngine:
         except ProofError:
             return
         state.done = True
+        if state.timer is not None:
+            state.timer.cancel()
+            state.timer = None
         elapsed = self._host.sim.now - state.started_at
         if self._on_stable is not None:
             self._on_stable(state.microblock.id, elapsed)

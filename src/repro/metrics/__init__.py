@@ -1,6 +1,6 @@
 """Measurement collection: throughput, latency, bandwidth, view changes."""
 
-from repro.metrics.collector import CommitRecord, MetricsHub
+from repro.metrics.collector import CommitRecord, FaultWindow, MetricsHub
 from repro.metrics.digest import WeightedDigest
 
-__all__ = ["MetricsHub", "CommitRecord", "WeightedDigest"]
+__all__ = ["MetricsHub", "CommitRecord", "FaultWindow", "WeightedDigest"]

@@ -8,6 +8,7 @@ a measurement window so warmup can be excluded.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -25,6 +26,26 @@ class CommitRecord:
     microblock_count: int
 
 
+@dataclass(frozen=True)
+class FaultWindow:
+    """One fault's active interval, for per-window recovery metrics.
+
+    ``end`` is ``math.inf`` for faults never healed within the run (a
+    crash without a restart); recovery gauges then report infinity,
+    which the fault report renders as "never".
+    """
+
+    kind: str
+    start: float
+    end: float
+    nodes: tuple[int, ...] = ()
+    label: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
 class MetricsHub:
     """Aggregates commits, latencies, and protocol events for one run."""
 
@@ -37,6 +58,8 @@ class MetricsHub:
         self._stable_times = WeightedDigest()
         self._forwarded_microblocks = 0
         self._fetches = 0
+        self._fetches_abandoned = 0
+        self._fault_windows: list[FaultWindow] = []
 
     # -- recording ---------------------------------------------------------
 
@@ -80,6 +103,14 @@ class MetricsHub:
     def record_fetch(self) -> None:
         self._fetches += 1
 
+    def record_fetch_abandoned(self) -> None:
+        """A fetch gave up after ``fetch_max_rounds`` retry rounds."""
+        self._fetches_abandoned += 1
+
+    def record_fault_window(self, window: FaultWindow) -> None:
+        """Register an injected fault's active interval (FaultInjector)."""
+        self._fault_windows.append(window)
+
     # -- queries -----------------------------------------------------------
 
     @property
@@ -101,6 +132,14 @@ class MetricsHub:
     @property
     def fetch_count(self) -> int:
         return self._fetches
+
+    @property
+    def fetch_abandoned_count(self) -> int:
+        return self._fetches_abandoned
+
+    @property
+    def fault_windows(self) -> list[FaultWindow]:
+        return sorted(self._fault_windows, key=lambda w: (w.start, w.kind))
 
     def throughput_tps(self, start: float, end: float) -> float:
         """Committed transactions per second over ``[start, end)``."""
@@ -150,3 +189,71 @@ class MetricsHub:
 
     def view_changes_in(self, start: float, end: float) -> int:
         return sum(1 for when, _, _ in self._view_changes if start <= when < end)
+
+    # -- fault-window gauges -----------------------------------------------
+
+    def time_to_recover(self, window: FaultWindow) -> float:
+        """Seconds from the fault healing to the next commit.
+
+        Measured from ``window.end`` to the first commit at or after it;
+        infinity when the fault never healed or no commit followed (the
+        system did not recover within the run).
+        """
+        if math.isinf(window.end):
+            return math.inf
+        after = [
+            rec.commit_time
+            for rec in self._commits.values()
+            if rec.commit_time >= window.end
+        ]
+        if not after:
+            return math.inf
+        return min(after) - window.end
+
+    def commit_gap(self, window: FaultWindow) -> float:
+        """Longest commit-free interval overlapping the fault window.
+
+        The gauge the paper's Fig. 7 discussion cares about: how long the
+        chain stalls while the fault is active. Gaps are measured between
+        consecutive commits (run start counts as a commit at t=0) and
+        count when they intersect ``[window.start, window.end)``;
+        infinity when commits never resume after the window opens.
+        """
+        end = min(window.end, self._sim.now)
+        times = sorted(rec.commit_time for rec in self._commits.values())
+        longest = 0.0
+        prev = 0.0
+        for t in times:
+            if t > window.start and prev < end:
+                longest = max(longest, t - prev)
+            prev = t
+            if prev >= end:
+                break
+        if prev < end:
+            # Commits never resumed once the window opened: unresolved stall.
+            return math.inf
+        return longest
+
+    def fault_report(self) -> list[dict]:
+        """Per-fault-window recovery summary (one dict per window)."""
+        report = []
+        for window in self.fault_windows:
+            end = min(window.end, self._sim.now)
+            tps = (
+                self.throughput_tps(window.start, end)
+                if end > window.start
+                else 0.0
+            )
+            report.append(
+                {
+                    "kind": window.kind,
+                    "label": window.label,
+                    "start": window.start,
+                    "end": window.end,
+                    "nodes": window.nodes,
+                    "throughput_tps": tps,
+                    "commit_gap": self.commit_gap(window),
+                    "time_to_recover": self.time_to_recover(window),
+                }
+            )
+        return report

@@ -1,12 +1,14 @@
 """Replica assembly and fault behaviours."""
 
 from repro.replica.behavior import (
+    BEHAVIOR_KINDS,
     Behavior,
     CensoringSender,
     HonestBehavior,
     LyingProxy,
     ProofWithholder,
     SilentReplica,
+    behavior_for,
 )
 from repro.replica.node import Replica
 
@@ -18,4 +20,6 @@ __all__ = [
     "CensoringSender",
     "LyingProxy",
     "ProofWithholder",
+    "BEHAVIOR_KINDS",
+    "behavior_for",
 ]

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import ProtocolConfig
     from repro.replica.node import Replica
 
 
@@ -132,3 +133,37 @@ class ProofWithholder(Behavior):
     """
 
     withholds_proofs = True
+
+
+#: Behavior names accepted by ``behavior_for`` (harness faults, chaos
+#: SwapBehavior events). "none" and "honest" are synonyms.
+BEHAVIOR_KINDS = ("none", "honest", "silent", "censor", "lying", "withhold")
+
+
+def behavior_for(kind: str, config: "ProtocolConfig") -> Behavior:
+    """Build a behavior from its name, tuned to the protocol under test.
+
+    The censoring attacker needs protocol-specific witness counts: under
+    Stratus it must reach an ack quorum minus its own ack, under Narwhal
+    an echo quorum minus its own echo; against the simple SMP the pure
+    leader-only attack suffices.
+    """
+    if kind in ("none", "honest"):
+        return HonestBehavior()
+    if kind == "silent":
+        return SilentReplica()
+    if kind == "censor":
+        if config.mempool == "stratus":
+            witnesses = config.stability_quorum - 1
+        elif config.mempool == "narwhal":
+            witnesses = 2 * config.f
+        else:
+            witnesses = 0
+        return CensoringSender(min_witnesses=witnesses)
+    if kind == "lying":
+        return LyingProxy()
+    if kind == "withhold":
+        return ProofWithholder()
+    raise ValueError(
+        f"unknown behavior {kind!r}; choose from {BEHAVIOR_KINDS}"
+    )

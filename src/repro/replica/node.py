@@ -7,7 +7,7 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.config import ProtocolConfig
 from repro.metrics import MetricsHub
-from repro.replica.behavior import Behavior, HonestBehavior
+from repro.replica.behavior import Behavior, HonestBehavior, SilentReplica
 from repro.sim.engine import Simulator
 from repro.sim.network import Envelope, Network
 from repro.types import TxBatch
@@ -53,6 +53,10 @@ class Replica:
         self.executor: Optional["KVStore"] = None
         #: Optional protocol-event tracer (see :mod:`repro.tracing`).
         self.tracer = None
+        #: Crash-recovery lifecycle (see :meth:`crash` / :meth:`restart`).
+        self.crashed = False
+        self.restart_count = 0
+        self._pre_crash_behavior: Optional[Behavior] = None
         self._exec_buffer: dict[int, Block] = {}
         self._exec_height = 0
         network.register(node_id, self.handle)
@@ -74,8 +78,50 @@ class Replica:
             raise RuntimeError("attach() must be called before start()")
         self.consensus.start()
 
+    def crash(self) -> None:
+        """Crash the replica (crash-recovery model, durable state).
+
+        The network endpoint goes down and its egress/ingress queues are
+        flushed, the behavior is swapped to silent so stray timer
+        callbacks contribute nothing, and consensus timers are suspended.
+        Protocol state (votes, locks, stored microblocks) survives, which
+        matches a process whose consensus-critical state is persisted —
+        safety never depends on forgetting.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self._pre_crash_behavior = self.behavior
+        self.behavior = SilentReplica()
+        self.network.set_node_down(self.node_id)
+        if self.consensus is not None:
+            self.consensus.suspend()
+        self.trace("crash")
+
+    def restart(self) -> None:
+        """Bring a crashed replica back: re-register with the network,
+        restore the pre-crash behavior, and re-arm consensus timers.
+
+        No state is transferred here — the replica catches up through the
+        ordinary recovery paths (chain sync for missed proposals,
+        PAB-fetch for missing microblock bodies)."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.restart_count += 1
+        self.behavior = self._pre_crash_behavior or HonestBehavior()
+        self._pre_crash_behavior = None
+        self.network.set_node_up(self.node_id)
+        if self.consensus is not None:
+            self.consensus.resume()
+        if self.mempool is not None:
+            self.mempool.on_restart()
+        self.trace("restart")
+
     def handle(self, envelope: Envelope) -> None:
         """Network delivery: route by message-kind prefix."""
+        if self.crashed:
+            return  # defence in depth; the network drops these already
         if envelope.kind.startswith("ce."):
             self.consensus.on_message(envelope)
         else:
@@ -83,6 +129,8 @@ class Replica:
 
     def on_client_batch(self, batch: TxBatch) -> None:
         """ReceiveTx entry point for the workload generator."""
+        if self.crashed:
+            return  # a dead server accepts nothing; clients lose the txs
         self.mempool.on_client_batch(batch)
 
     def on_block_executed(self, block: Block) -> None:

@@ -69,25 +69,26 @@ class NetworkStats:
     messages_sent: dict[str, int] = field(default_factory=dict)
     messages_delivered: int = 0
     messages_dropped: int = 0
+    # Running totals so the per-node/per-kind queries below stay O(1) —
+    # they are called inside benchmark loops.
+    _node_totals: dict[int, float] = field(default_factory=dict)
+    _kind_totals: dict[str, float] = field(default_factory=dict)
 
     def record_send(self, node: int, kind: str, size_bytes: float) -> None:
         key = (node, kind)
         self.bytes_sent[key] = self.bytes_sent.get(key, 0.0) + size_bytes
         self.messages_sent[kind] = self.messages_sent.get(kind, 0) + 1
+        self._node_totals[node] = self._node_totals.get(node, 0.0) + size_bytes
+        self._kind_totals[kind] = self._kind_totals.get(kind, 0.0) + size_bytes
 
     def node_bytes(self, node: int, kind: Optional[str] = None) -> float:
         """Total bytes sent by ``node``, optionally for one message kind."""
-        return sum(
-            size
-            for (sender, sent_kind), size in self.bytes_sent.items()
-            if sender == node and (kind is None or sent_kind == kind)
-        )
+        if kind is None:
+            return self._node_totals.get(node, 0.0)
+        return self.bytes_sent.get((node, kind), 0.0)
 
     def kind_bytes(self, kind: str) -> float:
-        return sum(
-            size for (_, sent_kind), size in self.bytes_sent.items()
-            if sent_kind == kind
-        )
+        return self._kind_totals.get(kind, 0.0)
 
 
 class TokenBucket:
@@ -153,6 +154,21 @@ class _Uplink:
                 self._start_next()
             return
         self._start_next()
+
+    def flush(self) -> int:
+        """Drop every queued message (the node crashed); returns the count.
+
+        An in-flight transmission cannot be recalled: its completion event
+        still fires, but :meth:`Network._propagate` discards the message
+        when the sender is down.
+        """
+        dropped = sum(len(queue) for queue in self.queues.values())
+        for queue in self.queues.values():
+            queue.clear()
+        if self._wait_timer is not None:
+            self._wait_timer.cancel()
+            self._wait_timer = None
+        return dropped
 
     def queued_bytes(self, channel: Optional[Channel] = None) -> float:
         channels = [channel] if channel else list(Channel)
@@ -224,6 +240,13 @@ class _Ingress:
         if not self.busy:
             self._process_next()
 
+    def flush(self) -> int:
+        """Drop every queued-but-unprocessed message (the node crashed)."""
+        dropped = sum(len(queue) for queue in self.queues.values())
+        for queue in self.queues.values():
+            queue.clear()
+        return dropped
+
     def _process_next(self) -> None:
         envelope: Optional[Envelope] = None
         for channel in Channel:
@@ -267,6 +290,9 @@ class Network:
         self._uplinks = [_Uplink(node, self) for node in range(topology.n)]
         self._ingress = [_Ingress(node, self) for node in range(topology.n)]
         self._drop_filter: Optional[DropFilter] = None
+        self._drop_rules: dict[int, DropFilter] = {}
+        self._rule_seq = 0
+        self._down: set[int] = set()
 
     # -- wiring ------------------------------------------------------------
 
@@ -284,6 +310,43 @@ class Network:
         matches a real network where loss wastes the sender's uplink.
         """
         self._drop_filter = drop_filter
+
+    def add_drop_rule(self, rule: DropFilter) -> int:
+        """Install an *additional* drop predicate; returns a removal handle.
+
+        Rules compose with each other and with the ``set_drop_filter``
+        predicate (a message matching any of them is dropped), which lets
+        the fault injector layer partitions and loss windows on top of a
+        user-installed filter without clobbering it.
+        """
+        rule_id = self._rule_seq
+        self._rule_seq += 1
+        self._drop_rules[rule_id] = rule
+        return rule_id
+
+    def remove_drop_rule(self, rule_id: int) -> None:
+        """Remove a rule installed by :meth:`add_drop_rule` (idempotent)."""
+        self._drop_rules.pop(rule_id, None)
+
+    def set_node_down(self, node: int) -> None:
+        """Crash ``node``'s network endpoint.
+
+        Its egress and ingress queues are flushed (queued messages count
+        as dropped), and until :meth:`set_node_up` re-registers it, every
+        message from or to the node is discarded.
+        """
+        if node in self._down:
+            return
+        self._down.add(node)
+        flushed = self._uplinks[node].flush() + self._ingress[node].flush()
+        self.stats.messages_dropped += flushed
+
+    def set_node_up(self, node: int) -> None:
+        """Re-register a crashed node's endpoint (restart)."""
+        self._down.discard(node)
+
+    def is_down(self, node: int) -> bool:
+        return node in self._down
 
     def set_data_limiter(
         self, node: int, rate_bytes_per_s: float, burst_bytes: float
@@ -303,6 +366,11 @@ class Network:
         channel: Channel = Channel.DATA,
     ) -> None:
         """Queue one message for serialization on ``src``'s uplink."""
+        if src in self._down or dst in self._down:
+            # A crashed process sends nothing; a sender talking to a dead
+            # peer sees its connection break before serializing the copy.
+            self.stats.messages_dropped += 1
+            return
         if dst == src:
             # Loopback: no bandwidth cost, delivered on the next event.
             envelope = Envelope(src, dst, kind, 0.0, payload, channel, self.sim.now)
@@ -348,6 +416,10 @@ class Network:
     # -- internal ----------------------------------------------------------
 
     def _propagate(self, envelope: Envelope) -> None:
+        if envelope.src in self._down:
+            # The sender crashed mid-transmission: the copy never left.
+            self.stats.messages_dropped += 1
+            return
         # Bandwidth accounting happens here — after serialization — so
         # reported Mbps reflects bytes actually pushed through the uplink,
         # not bytes sitting in a backlog.
@@ -357,8 +429,13 @@ class Network:
         )
         self.sim.schedule(delay, lambda: self._deliver(envelope))
 
-    def _deliver(self, envelope: Envelope) -> None:
+    def _should_drop(self, envelope: Envelope) -> bool:
         if self._drop_filter is not None and self._drop_filter(envelope):
+            return True
+        return any(rule(envelope) for rule in self._drop_rules.values())
+
+    def _deliver(self, envelope: Envelope) -> None:
+        if envelope.dst in self._down or self._should_drop(envelope):
             self.stats.messages_dropped += 1
             return
         if envelope.dst not in self._handlers:
@@ -371,7 +448,9 @@ class Network:
 
     def _dispatch(self, envelope: Envelope) -> None:
         handler = self._handlers.get(envelope.dst)
-        if handler is None:
+        if handler is None or envelope.dst in self._down:
+            # The down check repeats here because an ingress CPU may have
+            # been mid-message when the node crashed.
             self.stats.messages_dropped += 1
             return
         self.stats.messages_delivered += 1

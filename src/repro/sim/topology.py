@@ -120,6 +120,7 @@ class Topology:
         self._jitter = delay_jitter
         self._default_bandwidth = float(bandwidth_bps)
         self._bandwidth_overrides: dict[int, float] = {}
+        self._bandwidth_scales: dict[int, float] = {}
         self._delay_overrides: dict[tuple[int, int], float] = {}
         self._schedules: list[DelaySchedule] = []
 
@@ -144,6 +145,30 @@ class Topology:
         """Layer a time-varying delay schedule over every link."""
         self._schedules.append(schedule)
 
+    def scale_bandwidth(self, node: int, factor: float) -> None:
+        """Multiply ``node``'s effective egress bandwidth by ``factor``.
+
+        Used by fault injection (bandwidth squeezes); repeated calls
+        stack multiplicatively, so overlapping windows compose.
+        """
+        self._check_node(node)
+        if factor <= 0:
+            raise ValueError(f"bandwidth factor must be > 0, got {factor}")
+        self._bandwidth_scales[node] = (
+            self._bandwidth_scales.get(node, 1.0) * factor
+        )
+
+    def unscale_bandwidth(self, node: int, factor: float) -> None:
+        """Undo one matching :meth:`scale_bandwidth` call."""
+        self._check_node(node)
+        if factor <= 0:
+            raise ValueError(f"bandwidth factor must be > 0, got {factor}")
+        current = self._bandwidth_scales.get(node, 1.0) / factor
+        if abs(current - 1.0) < 1e-12:
+            self._bandwidth_scales.pop(node, None)
+        else:
+            self._bandwidth_scales[node] = current
+
     # -- queries -----------------------------------------------------------
 
     def bandwidth(self, node: int, now: Optional[float] = None) -> float:
@@ -154,6 +179,7 @@ class Topology:
         """
         self._check_node(node)
         base = self._bandwidth_overrides.get(node, self._default_bandwidth)
+        base *= self._bandwidth_scales.get(node, 1.0)
         if now is not None:
             for schedule in self._schedules:
                 base *= schedule.bandwidth_factor(now)

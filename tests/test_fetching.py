@@ -6,6 +6,7 @@ from repro.config import ProtocolConfig
 from repro.mempool.base import MessageKinds
 from repro.mempool.fetching import (
     FetchManager,
+    backoff_delay,
     sampled_signers,
     single_target,
 )
@@ -25,13 +26,20 @@ class FakeHost:
         self.rng = random.Random(1)
         self.metrics = _FakeMetrics()
 
+    def trace(self, kind, **details):
+        pass
+
 
 class _FakeMetrics:
     def __init__(self):
         self.fetches = 0
+        self.abandoned = 0
 
     def record_fetch(self):
         self.fetches += 1
+
+    def record_fetch_abandoned(self):
+        self.abandoned += 1
 
 
 def make_env(n=4):
@@ -195,3 +203,60 @@ class TestTargetProviders:
         provider = sampled_signers(
             config, random.Random(1), signers=(1, 2), own_id=0)
         assert provider({1, 2}) == []
+
+
+class TestBackoff:
+    def test_delays_grow_exponentially_to_cap(self):
+        config = ProtocolConfig(
+            n=4, fetch_timeout=0.1, fetch_backoff_factor=2.0,
+            fetch_backoff_max=0.4, fetch_jitter=0.0,
+        )
+        rng = random.Random(1)
+        delays = [backoff_delay(config, rounds, rng) for rounds in (1, 2, 3, 4)]
+        assert delays == [0.1, 0.2, 0.4, 0.4]  # capped at fetch_backoff_max
+
+    def test_jitter_stays_within_bounds(self):
+        config = ProtocolConfig(n=4, fetch_timeout=0.1, fetch_jitter=0.2)
+        rng = random.Random(7)
+        for _ in range(50):
+            delay = backoff_delay(config, 1, rng)
+            assert 0.08 <= delay <= 0.12
+
+    def test_abandoned_after_max_rounds(self):
+        sim, net, inboxes, host = make_env()
+        config = ProtocolConfig(
+            n=4, fetch_timeout=0.05, fetch_jitter=0.0, fetch_max_rounds=3,
+        )
+        manager = FetchManager(host, config, MicroBlockStore())
+        manager.request(make_mb().id, single_target(2))
+        sim.run_until(5.0)
+        assert host.metrics.fetches == 3  # rounds 1..3, then give up
+        assert host.metrics.abandoned == 1
+        assert manager.outstanding == 0
+
+    def test_zero_max_rounds_retries_forever(self):
+        sim, net, inboxes, host = make_env()
+        config = ProtocolConfig(
+            n=4, fetch_timeout=0.05, fetch_jitter=0.0, fetch_max_rounds=0,
+            fetch_backoff_factor=1.0,
+        )
+        manager = FetchManager(host, config, MicroBlockStore())
+        manager.request(make_mb().id, single_target(2))
+        sim.run_until(5.0)
+        assert host.metrics.abandoned == 0
+        assert manager.outstanding == 1
+        assert host.metrics.fetches > 50
+
+    def test_cancel_stops_retries(self):
+        sim, net, inboxes, host = make_env()
+        config = ProtocolConfig(n=4, fetch_timeout=0.1, fetch_jitter=0.0)
+        manager = FetchManager(host, config, MicroBlockStore())
+        mb = make_mb()
+        manager.request(mb.id, single_target(2))
+        sim.run_until(0.05)
+        manager.cancel(mb.id)
+        fetched = host.metrics.fetches
+        sim.run_until(2.0)
+        assert host.metrics.fetches == fetched
+        assert manager.outstanding == 0
+        assert host.metrics.abandoned == 0
