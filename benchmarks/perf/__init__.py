@@ -1,0 +1,15 @@
+"""Performance benchmark harness (events/sec, wall-clock, RSS, profiles).
+
+Unlike ``benchmarks/test_*`` — which reproduce the paper's figures —
+this package measures the *simulator itself*: how many events per
+second the engine sustains on fixed-seed standard scenarios. It is the
+regression baseline every performance-sensitive PR is judged against.
+
+Run it with::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py
+
+which writes ``benchmarks/perf/BENCH_perf.json``. Pass ``--baseline
+<file>`` to embed a previously captured run and compute speedups, and
+``--profile`` to attach per-subsystem cProfile breakdowns.
+"""

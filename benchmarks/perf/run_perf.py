@@ -1,0 +1,224 @@
+"""Perf harness runner: events/sec, wall-clock, peak RSS, profiles.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py \
+        [--out benchmarks/perf/BENCH_perf.json] \
+        [--baseline benchmarks/perf/baseline.json] \
+        [--scenario stratus-hotstuff ...] [--profile] [--quick]
+
+For every scenario the runner reports:
+
+* ``events_per_sec`` — simulator events executed / wall-clock seconds,
+  the headline number regression gates compare;
+* ``commit_hash`` — sha256 over the deterministic commit sequence
+  (block id, commit time, tx count). Two builds of the same scenario
+  must agree byte-for-byte; a differing hash means an optimization
+  changed behavior, not just speed;
+* ``peak_rss_bytes`` — process high-water mark after the scenario;
+* with ``--profile``, a per-subsystem cProfile rollup (tottime grouped
+  by ``repro.<package>``) plus the top-N hottest functions.
+
+``--baseline`` embeds a previous run's numbers and computes per-scenario
+speedups, which is how the "new vs pre-PR" comparison lands in one file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import hashlib
+import json
+import platform
+import pstats
+import resource
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+if __package__ in (None, ""):  # direct script invocation
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from scenarios import PerfScenario, get_scenarios
+else:  # pragma: no cover - package import (pytest collection)
+    from benchmarks.perf.scenarios import PerfScenario, get_scenarios
+
+from repro.harness import build_experiment
+
+DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_perf.json"
+PROFILE_TOP_N = 15
+
+
+def commit_sequence_hash(metrics) -> str:
+    """Deterministic digest of the run's commit sequence."""
+    hasher = hashlib.sha256()
+    for record in metrics.commits:
+        hasher.update(
+            f"{record.block_id}:{record.commit_time:.9f}:"
+            f"{record.tx_count}:{record.microblock_count};".encode()
+        )
+    return hasher.hexdigest()
+
+
+def peak_rss_bytes() -> int:
+    """Process peak RSS; ru_maxrss is KiB on Linux, bytes on macOS."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if platform.system() == "Darwin":  # pragma: no cover
+        return int(peak)
+    return int(peak) * 1024
+
+
+def _subsystem_of(func: tuple) -> Optional[str]:
+    """Map a pstats (file, line, name) key to a repro subpackage."""
+    filename = func[0].replace("\\", "/")
+    marker = "/repro/"
+    index = filename.rfind(marker)
+    if index < 0:
+        return None
+    tail = filename[index + len(marker):]
+    first = tail.split("/", 1)[0]
+    if first.endswith(".py"):
+        first = first[:-3]
+    return f"repro.{first}"
+
+
+def profile_breakdown(profiler: cProfile.Profile) -> dict:
+    """Roll a profile up into per-subsystem tottime plus a top-N list."""
+    stats = pstats.Stats(profiler)
+    subsystems: dict[str, float] = {}
+    rows = []
+    for func, (_cc, ncalls, tottime, cumtime, _callers) in stats.stats.items():
+        subsystem = _subsystem_of(func)
+        if subsystem is not None:
+            subsystems[subsystem] = subsystems.get(subsystem, 0.0) + tottime
+        rows.append((tottime, cumtime, ncalls, func))
+    rows.sort(reverse=True)
+    top = [
+        {
+            "function": f"{Path(func[0]).name}:{func[1]}:{func[2]}",
+            "tottime_s": round(tottime, 4),
+            "cumtime_s": round(cumtime, 4),
+            "ncalls": ncalls,
+        }
+        for tottime, cumtime, ncalls, func in rows[:PROFILE_TOP_N]
+    ]
+    return {
+        "subsystem_tottime_s": {
+            name: round(total, 4)
+            for name, total in sorted(
+                subsystems.items(), key=lambda item: -item[1]
+            )
+        },
+        "top_functions": top,
+    }
+
+
+def run_scenario(
+    scenario: PerfScenario, scale: float, profile: bool
+) -> dict:
+    """Run one scenario and measure it; profiling is a separate pass.
+
+    The timed pass never runs under the profiler — instrumentation
+    overhead would poison the events/sec number.
+    """
+    experiment = build_experiment(scenario.build_config(scale))
+    start = time.perf_counter()
+    result = experiment.run()
+    wall = time.perf_counter() - start
+    events = experiment.sim.processed
+    entry = {
+        "events": events,
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
+        "sim_seconds": experiment.sim.now,
+        "committed_tx": result.committed_tx,
+        "throughput_tps": round(result.throughput_tps, 1),
+        "commit_hash": commit_sequence_hash(result.metrics),
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+    if profile:
+        profiled = build_experiment(scenario.build_config(scale))
+        profiler = cProfile.Profile()
+        profiler.enable()
+        profiled.run()
+        profiler.disable()
+        entry["profile"] = profile_breakdown(profiler)
+    return entry
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="run_perf", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="output JSON path")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="embed a previous run and compute speedups")
+    parser.add_argument("--scenario", nargs="+", default=None,
+                        help="run only these scenarios")
+    parser.add_argument("--profile", action="store_true",
+                        help="attach per-subsystem cProfile breakdowns")
+    parser.add_argument("--quick", action="store_true",
+                        help="halve measurement windows (CI smoke)")
+    args = parser.parse_args(argv)
+
+    scale = 0.5 if args.quick else 1.0
+    report: dict = {
+        "schema": "BENCH_perf/1",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "quick": args.quick,
+        "scenarios": {},
+    }
+
+    for scenario in get_scenarios(args.scenario):
+        print(f"[perf] {scenario.name} ...", flush=True)
+        entry = run_scenario(scenario, scale, args.profile)
+        report["scenarios"][scenario.name] = entry
+        print(
+            f"[perf]   {entry['events']} events in {entry['wall_s']:.2f}s "
+            f"-> {entry['events_per_sec']:,.0f} events/s, "
+            f"commit_hash={entry['commit_hash'][:12]}",
+            flush=True,
+        )
+
+    if args.baseline is not None and args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+        report["baseline"] = {
+            "generated_at": baseline.get("generated_at"),
+            "scenarios": baseline.get("scenarios", {}),
+        }
+        speedups = {}
+        for name, entry in report["scenarios"].items():
+            base = baseline.get("scenarios", {}).get(name)
+            if not base or not base.get("events_per_sec"):
+                continue
+            speedups[name] = {
+                "events_per_sec_before": base["events_per_sec"],
+                "events_per_sec_after": entry["events_per_sec"],
+                "speedup": round(
+                    entry["events_per_sec"] / base["events_per_sec"], 3
+                ),
+                "commit_hash_matches": (
+                    base.get("commit_hash") == entry["commit_hash"]
+                ),
+            }
+        report["speedup"] = speedups
+        for name, gain in speedups.items():
+            match = "OK" if gain["commit_hash_matches"] else "MISMATCH"
+            print(
+                f"[perf] {name}: {gain['speedup']:.2f}x "
+                f"({gain['events_per_sec_before']:,.0f} -> "
+                f"{gain['events_per_sec_after']:,.0f} ev/s), "
+                f"determinism {match}"
+            )
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[perf] written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,97 @@
+"""Fixed-seed standard scenarios for the perf harness.
+
+Each scenario pins every knob (protocol, n, topology, rate, seed) so
+runs are comparable across commits: the simulator is deterministic, so
+two builds of the same scenario must execute the *same* event sequence
+and commit the *same* blocks — only the wall-clock changes. The commit
+hash emitted by the runner asserts exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.faults import FaultSchedule
+from repro.harness import ExperimentConfig, chaos_schedule, tuned_protocol
+
+
+@dataclass(frozen=True)
+class PerfScenario:
+    """One benchmark workload: a preset protocol under a fixed seed."""
+
+    name: str
+    preset: str
+    n: int
+    rate_tps: float
+    duration: float
+    warmup: float = 1.0
+    topology: str = "lan"
+    seed: int = 1
+    chaos: Optional[str] = None
+    view_timeout: Optional[float] = None
+
+    def build_config(self, scale: float = 1.0) -> ExperimentConfig:
+        """Materialize the experiment config, optionally time-scaled.
+
+        ``scale`` shrinks the measurement window (CI smoke runs pass
+        0.5); the warmup and fault schedule are left untouched so the
+        scenario still exercises the same phases.
+        """
+        overrides = {}
+        if self.view_timeout is not None:
+            overrides["view_timeout"] = self.view_timeout
+        protocol = tuned_protocol(
+            self.preset, n=self.n, topology_kind=self.topology, **overrides
+        )
+        faults: Optional[FaultSchedule] = None
+        if self.chaos is not None:
+            faults = chaos_schedule(self.chaos, self.n)
+        return ExperimentConfig(
+            protocol=protocol,
+            topology_kind=self.topology,
+            rate_tps=self.rate_tps,
+            duration=max(0.5, self.duration * scale),
+            warmup=self.warmup,
+            seed=self.seed,
+            faults=faults,
+            label=self.name,
+        )
+
+
+#: The standard suite. Keep this list stable: BENCH_perf.json numbers
+#: are only comparable across commits when the scenarios don't move.
+SCENARIOS: tuple[PerfScenario, ...] = (
+    # The paper's headline configuration: Stratus mempool under chained
+    # HotStuff. Exercises PAB pushes, the DLB estimator, and proposals.
+    PerfScenario(
+        name="stratus-hotstuff",
+        preset="S-HS", n=16, rate_tps=20_000.0, duration=3.0,
+    ),
+    # Broadcast-everything shared mempool: the densest message load per
+    # committed transaction, so the network/event-loop cost dominates.
+    PerfScenario(
+        name="simple-smp",
+        preset="SMP-HS", n=16, rate_tps=20_000.0, duration=3.0,
+    ),
+    # Chaos preset: crash + partition + loss. Cancels many view/fetch
+    # timers, which is exactly what stresses heap compaction.
+    PerfScenario(
+        name="chaos-crash-partition",
+        preset="S-HS", n=8, rate_tps=5_000.0, duration=5.0,
+        chaos="crash-partition", view_timeout=0.5,
+    ),
+)
+
+
+def get_scenarios(names: Optional[list] = None) -> list:
+    """Resolve scenario names (None = the full standard suite)."""
+    if not names:
+        return list(SCENARIOS)
+    by_name = {scenario.name: scenario for scenario in SCENARIOS}
+    missing = [name for name in names if name not in by_name]
+    if missing:
+        raise SystemExit(
+            f"unknown scenario(s) {missing}; choose from {sorted(by_name)}"
+        )
+    return [by_name[name] for name in names]

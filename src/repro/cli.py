@@ -17,7 +17,9 @@ script.
 from __future__ import annotations
 
 import argparse
+import cProfile
 import math
+import pstats
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -79,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--timeline", action="store_true",
                         help="print a per-second throughput timeline")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the hottest "
+                             "functions after the results table")
+    parser.add_argument("--profile-top", type=int, default=20,
+                        metavar="N",
+                        help="with --profile, how many functions to show")
     return parser
 
 
@@ -131,6 +139,10 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
                 "@file, or an inline JSON schedule"
             ) from exc
 
+    profiler: Optional[cProfile.Profile] = None
+    if args.profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
     rows = []
     timelines = []
     fault_reports = []
@@ -170,6 +182,8 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
                 end = args.warmup + args.duration
                 series = result.metrics.throughput_series(0.0, end, 1.0)
                 timelines.append((result.label, series))
+    if profiler is not None:
+        profiler.disable()
     print(format_table(
         ["protocol", "n", "tput (tx/s)", "lat mean (ms)", "lat p99 (ms)",
          "view chg", "committed"],
@@ -202,6 +216,10 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
         print(f"\n{label} timeline (t -> tx/s):")
         for t, value in series:
             print(f"  {t:5.0f}s  {value:>12,.0f}")
+    if profiler is not None:
+        print(f"\ncProfile — top {args.profile_top} by internal time:")
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("tottime").print_stats(args.profile_top)
     return 0
 
 

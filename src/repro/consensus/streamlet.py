@@ -50,6 +50,9 @@ class Streamlet(ConsensusEngine):
         self._votes: dict[int, set[int]] = {}
         self._voted_epochs: set[int] = set()
         self._abandoned: set[int] = set()
+        # Proposals neither finalized nor abandoned yet, in insertion
+        # order — same incremental sweep structure as HotStuff's.
+        self._unresolved: dict[int, Proposal] = {}
         self._block_counter = 0
         self._epoch_timer = None
 
@@ -131,6 +134,7 @@ class Streamlet(ConsensusEngine):
         if parent is None:
             return
         self.proposals[proposal.block_id] = proposal
+        self._unresolved[proposal.block_id] = proposal
         if self.host.behavior.silent:
             return
         if proposal.view != self.epoch or proposal.view in self._voted_epochs:
@@ -208,15 +212,16 @@ class Streamlet(ConsensusEngine):
             self._finalized_height = max(
                 self._finalized_height, proposal.height
             )
+            self._unresolved.pop(proposal.block_id, None)
             self.handle_commit(proposal)
         self._sweep_abandoned()
 
     def _sweep_abandoned(self) -> None:
-        for block_id, proposal in self.proposals.items():
-            if (
-                proposal.height <= self._finalized_height
-                and block_id not in self.finalized
-                and block_id not in self._abandoned
-            ):
-                self._abandoned.add(block_id)
-                self.mempool.on_abandoned(proposal)
+        abandoned = [
+            proposal for proposal in self._unresolved.values()
+            if proposal.height <= self._finalized_height
+        ]
+        for proposal in abandoned:
+            del self._unresolved[proposal.block_id]
+            self._abandoned.add(proposal.block_id)
+            self.mempool.on_abandoned(proposal)

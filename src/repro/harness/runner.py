@@ -8,6 +8,7 @@ measurement window into an :class:`ExperimentResult`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -44,8 +45,10 @@ class RunningExperiment:
     injector: Optional[FaultInjector] = None
 
     def run(self) -> "ExperimentResult":
+        started = time.perf_counter()
         self.sim.run_until(self.config.end_time)
-        return summarize(self)
+        wall = time.perf_counter() - started
+        return summarize(self, wall_clock_s=wall)
 
 
 @dataclass
@@ -61,6 +64,18 @@ class ExperimentResult:
     metrics: MetricsHub
     network: Network
     config: ExperimentConfig
+    #: Simulator-engine instrumentation: how many events the run executed
+    #: and how long the event loop took on the host (0.0 when the
+    #: experiment was driven manually rather than via ``run()``).
+    events_processed: int = 0
+    wall_clock_s: float = 0.0
+
+    @property
+    def events_per_sec(self) -> float:
+        """Host-side event-loop rate; the perf harness's headline gauge."""
+        if self.wall_clock_s <= 0:
+            return 0.0
+        return self.events_processed / self.wall_clock_s
 
     @property
     def latency_mean(self) -> float:
@@ -203,7 +218,9 @@ def build_experiment(config: ExperimentConfig) -> RunningExperiment:
     )
 
 
-def summarize(experiment: RunningExperiment) -> ExperimentResult:
+def summarize(
+    experiment: RunningExperiment, wall_clock_s: float = 0.0
+) -> ExperimentResult:
     """Measure the window ``[warmup, warmup + duration)``."""
     config = experiment.config
     start, end = config.warmup, config.end_time
@@ -218,6 +235,8 @@ def summarize(experiment: RunningExperiment) -> ExperimentResult:
         metrics=metrics,
         network=experiment.network,
         config=config,
+        events_processed=experiment.sim.processed,
+        wall_clock_s=wall_clock_s,
     )
 
 

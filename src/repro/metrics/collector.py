@@ -9,6 +9,7 @@ a measurement window so warmup can be excluded.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -52,6 +53,13 @@ class MetricsHub:
     def __init__(self, sim: Simulator) -> None:
         self._sim = sim
         self._commits: dict[int, CommitRecord] = {}
+        # Commit-time order is maintained incrementally: commits arrive
+        # in (almost always) nondecreasing simulated time, so the insort
+        # is O(1) amortized and every windowed query below bisects
+        # instead of re-sorting the full commit set.
+        self._commit_times: list[float] = []
+        self._commit_order: list[CommitRecord] = []
+        self._tx_total = 0
         self._latency = WeightedDigest()
         self._latency_samples: list[tuple[float, float, float]] = []
         self._view_changes: list[tuple[float, int, int]] = []
@@ -79,12 +87,24 @@ class MetricsHub:
         if block_id in self._commits:
             return False
         when = self._sim.now if commit_time is None else commit_time
-        self._commits[block_id] = CommitRecord(
+        record = CommitRecord(
             block_id=block_id,
             commit_time=when,
             tx_count=tx_count,
             microblock_count=microblock_count,
         )
+        self._commits[block_id] = record
+        if not self._commit_times or when >= self._commit_times[-1]:
+            self._commit_times.append(when)
+            self._commit_order.append(record)
+        else:
+            # Out-of-order commit time (explicit commit_time in the
+            # past): insert right of equal keys to keep ties in arrival
+            # order, matching the stable sort this replaces.
+            index = bisect_right(self._commit_times, when)
+            self._commit_times.insert(index, when)
+            self._commit_order.insert(index, record)
+        self._tx_total += tx_count
         for latency, weight in latencies:
             if weight > 0:
                 self._latency.add(max(0.0, latency), weight)
@@ -115,11 +135,12 @@ class MetricsHub:
 
     @property
     def commits(self) -> list[CommitRecord]:
-        return sorted(self._commits.values(), key=lambda rec: rec.commit_time)
+        """Commits in commit-time order (maintained incrementally)."""
+        return list(self._commit_order)
 
     @property
     def committed_tx_total(self) -> int:
-        return sum(rec.tx_count for rec in self._commits.values())
+        return self._tx_total
 
     @property
     def view_change_count(self) -> int:
@@ -145,11 +166,9 @@ class MetricsHub:
         """Committed transactions per second over ``[start, end)``."""
         if end <= start:
             raise ValueError(f"bad window [{start}, {end})")
-        txs = sum(
-            rec.tx_count
-            for rec in self._commits.values()
-            if start <= rec.commit_time < end
-        )
+        lo = bisect_left(self._commit_times, start)
+        hi = bisect_left(self._commit_times, end)
+        txs = sum(rec.tx_count for rec in self._commit_order[lo:hi])
         return txs / (end - start)
 
     def throughput_series(
@@ -159,10 +178,11 @@ class MetricsHub:
         if bucket <= 0:
             raise ValueError("bucket must be positive")
         buckets: dict[int, int] = {}
-        for rec in self._commits.values():
-            if start <= rec.commit_time < end:
-                index = int((rec.commit_time - start) / bucket)
-                buckets[index] = buckets.get(index, 0) + rec.tx_count
+        lo = bisect_left(self._commit_times, start)
+        hi = bisect_left(self._commit_times, end)
+        for rec in self._commit_order[lo:hi]:
+            index = int((rec.commit_time - start) / bucket)
+            buckets[index] = buckets.get(index, 0) + rec.tx_count
         count = int((end - start) / bucket + 0.5)
         return [
             (start + i * bucket, buckets.get(i, 0) / bucket)
@@ -201,14 +221,10 @@ class MetricsHub:
         """
         if math.isinf(window.end):
             return math.inf
-        after = [
-            rec.commit_time
-            for rec in self._commits.values()
-            if rec.commit_time >= window.end
-        ]
-        if not after:
+        index = bisect_left(self._commit_times, window.end)
+        if index >= len(self._commit_times):
             return math.inf
-        return min(after) - window.end
+        return self._commit_times[index] - window.end
 
     def commit_gap(self, window: FaultWindow) -> float:
         """Longest commit-free interval overlapping the fault window.
@@ -220,7 +236,7 @@ class MetricsHub:
         infinity when commits never resume after the window opens.
         """
         end = min(window.end, self._sim.now)
-        times = sorted(rec.commit_time for rec in self._commits.values())
+        times = self._commit_times
         longest = 0.0
         prev = 0.0
         for t in times:

@@ -3,10 +3,19 @@
 Commit latency is recorded per microblock weighted by its transaction
 count, so percentiles are over *transactions* without materializing one
 sample per transaction.
+
+Percentile queries used to re-sort every sample and scan cumulative
+weights linearly — O(n log n) per query. The digest now consolidates
+once per add-batch (a dirty flag marks the cached order stale) into a
+sorted value array plus a prefix-sum array, and answers each percentile
+with one bisect: repeated queries (p50/p95/p99 on the same window) cost
+O(log n), and min/max are tracked incrementally at add time.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
+from itertools import accumulate
 from typing import Iterable
 
 
@@ -17,13 +26,27 @@ class WeightedDigest:
         self._samples: list[tuple[float, float]] = []
         self._total_weight = 0.0
         self._weighted_sum = 0.0
+        self._min = 0.0
+        self._max = 0.0
+        self._dirty = True
+        self._ordered_values: list[float] = []
+        self._cum_weights: list[float] = []
 
     def add(self, value: float, weight: float = 1.0) -> None:
         if weight <= 0:
             raise ValueError(f"weight must be positive, got {weight}")
+        if not self._samples:
+            self._min = value
+            self._max = value
+        else:
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
         self._samples.append((value, weight))
         self._total_weight += weight
         self._weighted_sum += value * weight
+        self._dirty = True
 
     def extend(self, samples: Iterable[tuple[float, float]]) -> None:
         for value, weight in samples:
@@ -42,29 +65,42 @@ class WeightedDigest:
             return 0.0
         return self._weighted_sum / self._total_weight
 
+    def _consolidate(self) -> None:
+        """Rebuild the sorted-value and prefix-weight caches."""
+        ordered = sorted(self._samples)
+        self._ordered_values = [value for value, _ in ordered]
+        self._cum_weights = list(
+            accumulate(weight for _, weight in ordered)
+        )
+        self._dirty = False
+
     def percentile(self, p: float) -> float:
-        """Weighted percentile, ``p`` in [0, 100]."""
+        """Weighted percentile, ``p`` in [0, 100].
+
+        The answer is the smallest sample value whose cumulative weight
+        reaches ``p`` percent of the total; ``p=0`` is the minimum and
+        ``p=100`` the maximum. An empty digest reports 0.0.
+        """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         if not self._samples:
             return 0.0
-        ordered = sorted(self._samples)
+        if self._dirty:
+            self._consolidate()
         target = self._total_weight * (p / 100.0)
-        cumulative = 0.0
-        for value, weight in ordered:
-            cumulative += weight
-            if cumulative >= target:
-                return value
-        return ordered[-1][0]
+        # Weights are strictly positive, so the prefix sums increase
+        # strictly and bisect finds the first bucket reaching target.
+        # Clamp: float summation order can leave target a hair above
+        # the final prefix sum when p == 100.
+        index = bisect_left(self._cum_weights, target)
+        if index >= len(self._ordered_values):
+            index = len(self._ordered_values) - 1
+        return self._ordered_values[index]
 
     @property
     def max(self) -> float:
-        if not self._samples:
-            return 0.0
-        return max(value for value, _ in self._samples)
+        return self._max
 
     @property
     def min(self) -> float:
-        if not self._samples:
-            return 0.0
-        return min(value for value, _ in self._samples)
+        return self._min

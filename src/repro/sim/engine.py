@@ -13,40 +13,58 @@ Protocol code interacts with the engine through three operations:
 
 Timers (view-change timers, fetch timeouts, proxy timeouts) are cancellable
 via the returned :class:`Timer` handle.
+
+Performance notes: the heap stores plain ``(time, seq, event)`` tuples so
+ordering is resolved by C-level tuple comparison (``seq`` is unique, so
+the event object itself is never compared), and :class:`Event` is a
+``__slots__`` class rather than a dataclass. Cancelled events are left in
+the heap (cancellation stays O(1)) but the simulator compacts the heap
+automatically once cancelled entries outnumber live ones — chaos runs
+cancel view/fetch timers by the thousand, and without compaction they
+would linger until their deadline.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Callable, Optional
+
+#: Compaction never triggers below this queue size: rebuilding a tiny
+#: heap costs more bookkeeping than the dead entries are worth.
+_COMPACT_MIN_QUEUE = 64
 
 
 class SimulationError(RuntimeError):
     """Raised when the simulation is driven incorrectly."""
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """A scheduled callback with its lifecycle flags.
 
-    Events compare by ``(time, seq)`` so the heap pops them in
-    chronological order with FIFO tie-breaking.
+    ``cancelled`` and ``fired`` are distinct states: a fired event was
+    consumed by the loop, a cancelled one will be skipped (and eventually
+    compacted away). Heap ordering lives in the ``(time, seq)`` tuple the
+    simulator pushes alongside the event, not on the event itself.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "cancelled", "fired")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
 
 
 class Timer:
     """Cancellable handle for a scheduled event."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: Event) -> None:
+    def __init__(self, event: Event, sim: "Simulator") -> None:
         self._event = event
+        self._sim = sim
 
     @property
     def deadline(self) -> float:
@@ -54,7 +72,14 @@ class Timer:
 
     @property
     def active(self) -> bool:
-        return not self._event.cancelled
+        """True only while the callback can still fire.
+
+        An event that already executed is not active — previously a
+        fired timer kept reporting ``True``, which let protocol code
+        mistake a dead timeout for a pending one.
+        """
+        event = self._event
+        return not (event.cancelled or event.fired)
 
     def cancel(self) -> None:
         """Prevent the callback from firing.
@@ -62,7 +87,11 @@ class Timer:
         Cancelling an already-fired or already-cancelled timer is a no-op,
         which lets protocol code cancel unconditionally on cleanup paths.
         """
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled or event.fired:
+            return
+        event.cancelled = True
+        self._sim._note_cancelled()
 
 
 class Simulator:
@@ -73,11 +102,13 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
+        self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._now = 0.0
         self._running = False
         self._processed = 0
+        self._cancelled = 0
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -90,9 +121,19 @@ class Simulator:
         return len(self._queue)
 
     @property
+    def cancelled_pending(self) -> int:
+        """Number of cancelled events still occupying heap slots."""
+        return self._cancelled
+
+    @property
     def processed(self) -> int:
         """Number of events executed so far."""
         return self._processed
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap was auto-compacted."""
+        return self._compactions
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Timer:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
@@ -106,10 +147,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time:.6f}; now is {self._now:.6f}"
             )
-        event = Event(time=time, seq=self._seq, callback=callback)
+        event = Event(time, self._seq, callback)
+        heapq.heappush(self._queue, (time, self._seq, event))
         self._seq += 1
-        heapq.heappush(self._queue, event)
-        return Timer(event)
+        return Timer(event, self)
 
     def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
         """Run events with ``time <= end_time``; return the number executed.
@@ -121,20 +162,26 @@ class Simulator:
             raise SimulationError("run_until called re-entrantly from a callback")
         self._running = True
         executed = 0
+        queue = self._queue
         try:
-            while self._queue and self._queue[0].time <= end_time:
-                event = heapq.heappop(self._queue)
+            while queue and queue[0][0] <= end_time:
+                event = heapq.heappop(queue)[2]
                 if event.cancelled:
+                    self._cancelled -= 1
                     continue
+                event.fired = True
                 self._now = event.time
                 event.callback()
                 executed += 1
                 self._processed += 1
+                # A callback may have triggered compaction, which swaps
+                # the queue list out from under us.
+                queue = self._queue
                 if max_events is not None and executed >= max_events:
                     break
         finally:
             self._running = False
-        if not self._queue or self._queue[0].time > end_time:
+        if not self._queue or self._queue[0][0] > end_time:
             self._now = max(self._now, end_time)
         return executed
 
@@ -142,8 +189,19 @@ class Simulator:
         """Run until the queue is empty (or ``max_events`` is reached)."""
         return self.run_until(float("inf"), max_events=max_events)
 
+    def _note_cancelled(self) -> None:
+        """Account one cancellation; compact when the dead outnumber the live."""
+        self._cancelled += 1
+        if (
+            len(self._queue) >= _COMPACT_MIN_QUEUE
+            and self._cancelled * 2 > len(self._queue)
+        ):
+            self.drain_cancelled()
+            self._compactions += 1
+
     def drain_cancelled(self) -> None:
         """Drop cancelled events from the heap (memory hygiene for long runs)."""
-        live = [event for event in self._queue if not event.cancelled]
+        live = [entry for entry in self._queue if not entry[2].cancelled]
         heapq.heapify(live)
         self._queue = live
+        self._cancelled = 0

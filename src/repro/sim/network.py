@@ -44,21 +44,51 @@ class Channel(enum.Enum):
     DATA = 2
 
 
-@dataclass
+# Queue indexes for the per-channel FIFOs below. The uplink/ingress hot
+# loops index lists with these ints instead of hashing enum members —
+# ``Channel.__hash__`` was a measurable slice of event-loop time.
+_CONSENSUS = Channel.CONSENSUS.value
+_CONTROL = Channel.CONTROL.value
+_DATA = Channel.DATA.value
+
+
 class Envelope:
     """A network-level message.
 
     ``payload`` is an arbitrary protocol object; the network only looks at
     ``size_bytes`` (for serialization time) and ``kind`` (for accounting).
+    A ``__slots__`` class rather than a dataclass: envelopes are minted
+    once per (message, recipient) pair, squarely on the hot path.
     """
 
-    src: int
-    dst: int
-    kind: str
-    size_bytes: float
-    payload: object
-    channel: Channel = Channel.DATA
-    enqueued_at: float = 0.0
+    __slots__ = (
+        "src", "dst", "kind", "size_bytes", "payload", "channel",
+        "enqueued_at",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        size_bytes: float,
+        payload: object,
+        channel: Channel = Channel.DATA,
+        enqueued_at: float = 0.0,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.size_bytes = size_bytes
+        self.payload = payload
+        self.channel = channel
+        self.enqueued_at = enqueued_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Envelope({self.src}->{self.dst}, {self.kind!r}, "
+            f"{self.size_bytes:.0f}B, {self.channel.name})"
+        )
 
 
 @dataclass
@@ -132,23 +162,22 @@ class _Uplink:
     def __init__(self, node: int, network: "Network") -> None:
         self.node = node
         self.network = network
-        self.queues: dict[Channel, deque[Envelope]] = {
-            channel: deque() for channel in Channel
-        }
+        # Indexed by Channel.value (_CONSENSUS/_CONTROL/_DATA).
+        self.queues: list[deque[Envelope]] = [deque() for _ in Channel]
         self.transmitting = False
         self.limiter: Optional[TokenBucket] = None
         self._wait_timer = None
 
     def enqueue(self, envelope: Envelope) -> None:
-        channel = (
-            envelope.channel
-            if self.network.priority_channels else Channel.DATA
+        index = (
+            envelope.channel.value
+            if self.network.priority_channels else _DATA
         )
-        self.queues[channel].append(envelope)
+        self.queues[index].append(envelope)
         if self.transmitting:
             return
         if self._wait_timer is not None:
-            if channel is not Channel.DATA:
+            if index != _DATA:
                 self._wait_timer.cancel()
                 self._wait_timer = None
                 self._start_next()
@@ -162,8 +191,8 @@ class _Uplink:
         still fires, but :meth:`Network._propagate` discards the message
         when the sender is down.
         """
-        dropped = sum(len(queue) for queue in self.queues.values())
-        for queue in self.queues.values():
+        dropped = sum(len(queue) for queue in self.queues)
+        for queue in self.queues:
             queue.clear()
         if self._wait_timer is not None:
             self._wait_timer.cancel()
@@ -171,22 +200,24 @@ class _Uplink:
         return dropped
 
     def queued_bytes(self, channel: Optional[Channel] = None) -> float:
-        channels = [channel] if channel else list(Channel)
-        return sum(
-            env.size_bytes for ch in channels for env in self.queues[ch]
+        queues = (
+            [self.queues[channel.value]] if channel is not None
+            else self.queues
         )
+        return sum(env.size_bytes for queue in queues for env in queue)
 
     def _start_next(self) -> None:
         if self.transmitting:
             return
         sim = self.network.sim
+        queues = self.queues
         envelope: Optional[Envelope] = None
-        for channel in (Channel.CONSENSUS, Channel.CONTROL):
-            if self.queues[channel]:
-                envelope = self.queues[channel].popleft()
-                break
-        if envelope is None and self.queues[Channel.DATA]:
-            head = self.queues[Channel.DATA][0]
+        if queues[_CONSENSUS]:
+            envelope = queues[_CONSENSUS].popleft()
+        elif queues[_CONTROL]:
+            envelope = queues[_CONTROL].popleft()
+        elif queues[_DATA]:
+            head = queues[_DATA][0]
             if self.limiter is not None:
                 ready = self.limiter.ready_at(sim.now, head.size_bytes)
                 if ready > sim.now:
@@ -195,7 +226,7 @@ class _Uplink:
                     )
                     return
                 self.limiter.consume(sim.now, head.size_bytes)
-            envelope = self.queues[Channel.DATA].popleft()
+            envelope = queues[_DATA].popleft()
         if envelope is None:
             return
         self.transmitting = True
@@ -226,32 +257,31 @@ class _Ingress:
     def __init__(self, node: int, network: "Network") -> None:
         self.node = node
         self.network = network
-        self.queues: dict[Channel, deque[Envelope]] = {
-            channel: deque() for channel in Channel
-        }
+        # Indexed by Channel.value (_CONSENSUS/_CONTROL/_DATA).
+        self.queues: list[deque[Envelope]] = [deque() for _ in Channel]
         self.busy = False
 
     def accept(self, envelope: Envelope) -> None:
-        channel = (
-            envelope.channel
-            if self.network.priority_channels else Channel.DATA
+        index = (
+            envelope.channel.value
+            if self.network.priority_channels else _DATA
         )
-        self.queues[channel].append(envelope)
+        self.queues[index].append(envelope)
         if not self.busy:
             self._process_next()
 
     def flush(self) -> int:
         """Drop every queued-but-unprocessed message (the node crashed)."""
-        dropped = sum(len(queue) for queue in self.queues.values())
-        for queue in self.queues.values():
+        dropped = sum(len(queue) for queue in self.queues)
+        for queue in self.queues:
             queue.clear()
         return dropped
 
     def _process_next(self) -> None:
         envelope: Optional[Envelope] = None
-        for channel in Channel:
-            if self.queues[channel]:
-                envelope = self.queues[channel].popleft()
+        for queue in self.queues:
+            if queue:
+                envelope = queue.popleft()
                 break
         if envelope is None:
             return

@@ -69,3 +69,17 @@ def test_disturbance_window(capsys):
         "--batch-bytes", "1024", "--disturb", "1.0", "0.5",
     ])
     assert code == 0
+
+
+def test_profile_flag_prints_hot_functions(capsys):
+    code = run_cli([
+        "--preset", "S-HS", "--n", "4",
+        "--rate", "500", "--duration", "0.5", "--warmup", "0.2",
+        "--batch-bytes", "1024",
+        "--profile", "--profile-top", "5",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "tput (tx/s)" in out  # the results table still prints
+    assert "cProfile" in out
+    assert "tottime" in out

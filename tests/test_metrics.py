@@ -127,3 +127,88 @@ class TestMetricsHub:
         sim, hub = self.make_hub()
         with pytest.raises(ValueError):
             hub.throughput_tps(2.0, 1.0)
+
+
+class TestDigestEdgeCases:
+    def test_p0_is_minimum_and_p100_is_maximum(self):
+        digest = WeightedDigest()
+        for value in (5.0, 1.0, 3.0):
+            digest.add(value, 2.0)
+        assert digest.percentile(0) == pytest.approx(1.0)
+        assert digest.percentile(100) == pytest.approx(5.0)
+
+    def test_single_sample_every_percentile(self):
+        digest = WeightedDigest()
+        digest.add(0.42, 7.0)
+        for p in (0, 1, 50, 99, 100):
+            assert digest.percentile(p) == pytest.approx(0.42)
+
+    def test_zero_total_weight_reports_zero(self):
+        digest = WeightedDigest()
+        assert digest.total_weight == 0.0
+        assert digest.percentile(50) == 0.0
+        assert digest.mean == 0.0
+        assert digest.min == 0.0
+        assert digest.max == 0.0
+
+    def test_cache_refreshes_after_interleaved_adds(self):
+        """Queries between adds must see every sample (dirty-flag path)."""
+        digest = WeightedDigest()
+        digest.add(1.0, 1.0)
+        assert digest.percentile(100) == pytest.approx(1.0)
+        digest.add(9.0, 1.0)
+        assert digest.percentile(100) == pytest.approx(9.0)
+        assert digest.percentile(0) == pytest.approx(1.0)
+
+    def test_matches_linear_scan_reference(self):
+        import random
+
+        rng = random.Random(3)
+        digest = WeightedDigest()
+        samples = []
+        for _ in range(100):
+            value = rng.uniform(0, 10)
+            weight = rng.uniform(0.1, 5.0)
+            digest.add(value, weight)
+            samples.append((value, weight))
+        total = sum(weight for _, weight in samples)
+        for p in (0, 10, 25, 50, 75, 90, 99, 100):
+            ordered = sorted(samples)
+            target = total * (p / 100.0)
+            cumulative = 0.0
+            expected = ordered[-1][0]
+            for value, weight in ordered:
+                cumulative += weight
+                if cumulative >= target:
+                    expected = value
+                    break
+            assert digest.percentile(p) == pytest.approx(expected)
+
+
+class TestIncrementalCommitOrder:
+    def make_hub(self):
+        sim = Simulator()
+        return sim, MetricsHub(sim)
+
+    def test_order_maintained_across_interleaved_queries(self):
+        sim, hub = self.make_hub()
+        hub.record_commit(1, 10, 1, [], commit_time=1.0)
+        assert [rec.block_id for rec in hub.commits] == [1]
+        hub.record_commit(3, 10, 1, [], commit_time=3.0)
+        hub.record_commit(2, 10, 1, [], commit_time=2.0)
+        assert [rec.block_id for rec in hub.commits] == [1, 2, 3]
+        assert hub.committed_tx_total == 30
+
+    def test_ties_keep_arrival_order(self):
+        sim, hub = self.make_hub()
+        hub.record_commit(7, 1, 1, [], commit_time=5.0)
+        hub.record_commit(8, 1, 1, [], commit_time=1.0)
+        hub.record_commit(9, 1, 1, [], commit_time=1.0)
+        assert [rec.block_id for rec in hub.commits] == [8, 9, 7]
+
+    def test_windowed_queries_after_out_of_order_insert(self):
+        sim, hub = self.make_hub()
+        hub.record_commit(1, 100, 1, [], commit_time=2.5)
+        hub.record_commit(2, 200, 1, [], commit_time=0.5)
+        assert hub.throughput_tps(0.0, 1.0) == pytest.approx(200.0)
+        assert hub.throughput_tps(2.0, 3.0) == pytest.approx(100.0)

@@ -1,0 +1,88 @@
+"""Tests for the perf benchmark harness (benchmarks/perf)."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+PERF_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "perf"
+if str(PERF_DIR) not in sys.path:
+    sys.path.insert(0, str(PERF_DIR))
+
+import run_perf  # noqa: E402
+import scenarios  # noqa: E402
+
+from repro.metrics import MetricsHub  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+
+
+def test_standard_suite_has_the_three_scenarios():
+    names = [scenario.name for scenario in scenarios.get_scenarios()]
+    assert names == [
+        "stratus-hotstuff", "simple-smp", "chaos-crash-partition",
+    ]
+
+
+def test_scenario_filter_and_unknown_name():
+    picked = scenarios.get_scenarios(["simple-smp"])
+    assert [scenario.name for scenario in picked] == ["simple-smp"]
+    with pytest.raises(SystemExit):
+        scenarios.get_scenarios(["no-such-scenario"])
+
+
+def test_scenario_configs_build():
+    for scenario in scenarios.get_scenarios():
+        config = scenario.build_config()
+        assert config.protocol.n == scenario.n
+        assert config.seed == scenario.seed
+        assert config.label == scenario.name
+    chaos = scenarios.get_scenarios(["chaos-crash-partition"])[0]
+    assert chaos.build_config().faults is not None
+
+
+def test_quick_scale_shrinks_duration_only():
+    scenario = scenarios.get_scenarios(["stratus-hotstuff"])[0]
+    full = scenario.build_config()
+    quick = scenario.build_config(scale=0.5)
+    assert quick.duration == pytest.approx(full.duration * 0.5)
+    assert quick.warmup == full.warmup
+
+
+def test_commit_hash_is_deterministic_and_sensitive():
+    def hub_with(commits):
+        hub = MetricsHub(Simulator())
+        for block_id, when, txs in commits:
+            hub.record_commit(block_id, txs, 1, [], commit_time=when)
+        return hub
+
+    base = [(1, 1.0, 10), (2, 2.0, 20)]
+    first = run_perf.commit_sequence_hash(hub_with(base))
+    second = run_perf.commit_sequence_hash(hub_with(base))
+    assert first == second
+    changed = run_perf.commit_sequence_hash(hub_with([(1, 1.0, 10),
+                                                      (2, 2.0, 21)]))
+    assert changed != first
+
+
+def test_subsystem_rollup_maps_repro_paths():
+    key = ("/x/src/repro/sim/engine.py", 10, "run_until")
+    assert run_perf._subsystem_of(key) == "repro.sim"
+    key = ("/x/src/repro/cli.py", 1, "run_cli")
+    assert run_perf._subsystem_of(key) == "repro.cli"
+    assert run_perf._subsystem_of(("/usr/lib/heapq.py", 1, "heappush")) is None
+
+
+def test_quick_smoke_run_writes_report(tmp_path):
+    """End-to-end: one tiny scenario through main() emits valid JSON."""
+    out = tmp_path / "BENCH_perf.json"
+    code = run_perf.main([
+        "--out", str(out), "--scenario", "chaos-crash-partition", "--quick",
+    ])
+    assert code == 0
+    report = json.loads(out.read_text())
+    entry = report["scenarios"]["chaos-crash-partition"]
+    assert entry["events"] > 0
+    assert entry["events_per_sec"] > 0
+    assert len(entry["commit_hash"]) == 64
+    assert entry["peak_rss_bytes"] > 0

@@ -162,3 +162,94 @@ def test_processed_counter_excludes_cancelled():
     sim.run()
     assert sim.processed == 1
     assert keep.deadline == 1.0
+
+
+def test_timer_inactive_after_fire():
+    """Regression: a fired timer used to keep reporting active=True."""
+    sim = Simulator()
+    timer = sim.schedule(1.0, lambda: None)
+    assert timer.active
+    sim.run()
+    assert not timer.active
+
+
+def test_cancel_after_fire_does_not_mark_cancelled():
+    """cancel() on an executed event is a no-op, not a phantom cancel."""
+    sim = Simulator()
+    timer = sim.schedule(1.0, lambda: None)
+    sim.run()
+    timer.cancel()
+    assert sim.cancelled_pending == 0
+    assert not timer.active
+
+
+def test_timer_inactive_while_callback_runs():
+    sim = Simulator()
+    seen = []
+    timer_box = []
+
+    def probe():
+        seen.append(timer_box[0].active)
+
+    timer_box.append(sim.schedule(1.0, probe))
+    sim.run()
+    assert seen == [False]
+
+
+def test_heap_autocompacts_under_mass_cancellation():
+    """Cancelled timers must not accumulate for the whole run."""
+    sim = Simulator()
+    total = 10_000
+    timers = [sim.schedule(1000.0, lambda: None) for _ in range(total)]
+    for timer in timers[:-1]:
+        timer.cancel()
+    # Compaction keeps the heap near the live count (modulo the small
+    # minimum queue size below which compaction is not worth it) instead
+    # of letting all dead entries sit until their deadline.
+    assert sim.pending < 100
+    assert sim.compactions >= 1
+
+
+def test_autocompaction_preserves_event_order():
+    sim = Simulator()
+    order = []
+    keep = []
+    for index in range(200):
+        timer = sim.schedule(
+            1.0 + index, lambda index=index: order.append(index)
+        )
+        if index % 2:
+            keep.append(index)
+        else:
+            timer.cancel()
+    sim.run()
+    assert order == keep
+
+
+def test_cancellation_inside_callback_triggers_compaction():
+    """Mass-cancel from inside a running callback (chaos-style)."""
+    sim = Simulator()
+    timers = []
+
+    def cancel_most():
+        for timer in timers:
+            timer.cancel()
+
+    for _ in range(500):
+        timers.append(sim.schedule(100.0, lambda: None))
+    survivor = []
+    sim.schedule(1.0, cancel_most)
+    sim.schedule(200.0, lambda: survivor.append(sim.now))
+    sim.run()
+    assert survivor == [200.0]
+    assert sim.pending == 0
+
+
+def test_drain_cancelled_resets_cancel_accounting():
+    sim = Simulator()
+    timers = [sim.schedule(1.0, lambda: None) for _ in range(10)]
+    for timer in timers[:5]:
+        timer.cancel()
+    sim.drain_cancelled()
+    assert sim.pending == 5
+    assert sim.cancelled_pending == 0

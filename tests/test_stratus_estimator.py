@@ -114,3 +114,55 @@ def test_sample_count():
     for _ in range(10):
         estimator.record(0.1)
     assert estimator.sample_count == 10
+
+
+def test_estimate_computed_once_per_record_cycle():
+    """is_busy() + load_status() must share one percentile computation.
+
+    Each DLB probe used to sort the window twice (once per call); the
+    cached estimate makes the pair cost a single recompute.
+    """
+    estimator = make_estimator()
+    for _ in range(10):
+        estimator.record(0.1)
+    before = estimator.estimate_recomputes
+    estimator.is_busy()
+    estimator.load_status()
+    estimator.estimate()
+    estimator.is_busy()
+    assert estimator.estimate_recomputes == before + 1
+
+
+def test_cache_invalidated_by_record():
+    estimator = make_estimator(window=5, percentile=100.0)
+    estimator.record(0.1)
+    assert estimator.estimate() == pytest.approx(0.1)
+    count = estimator.estimate_recomputes
+    estimator.record(0.9)
+    assert estimator.estimate() == pytest.approx(0.9)
+    assert estimator.estimate_recomputes == count + 1
+
+
+def test_incremental_window_matches_full_sort():
+    """The insort-maintained window must agree with a per-call sort."""
+    import math as _math
+    import random
+
+    rng = random.Random(7)
+    estimator = make_estimator(window=16, percentile=95.0)
+    history = []
+    for _ in range(200):
+        value = rng.uniform(0.0, 1.0)
+        estimator.record(value)
+        history.append(value)
+        window = history[-16:]
+        ordered = sorted(window)
+        rank = max(0, _math.ceil(len(ordered) * 0.95) - 1)
+        assert estimator.estimate() == pytest.approx(ordered[rank])
+
+
+def test_duplicate_values_evict_correctly():
+    estimator = make_estimator(window=3, percentile=100.0)
+    for value in (0.5, 0.5, 0.5, 0.2, 0.2, 0.2):
+        estimator.record(value)
+    assert estimator.estimate() == pytest.approx(0.2)
