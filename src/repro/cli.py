@@ -12,6 +12,18 @@ Or sweep a parameter::
 Every (preset, n) combination runs once; results print as an aligned
 table. This is the quickest way to poke at the system without writing a
 script.
+
+Two verification subcommands ride alongside the flat experiment
+interface::
+
+    python -m repro fuzz --seed 42 --iterations 20 --shrink \
+        --out artifacts/
+    python -m repro replay artifacts/fuzz-42-0007.json
+
+``fuzz`` derives oracle-armed scenarios from one root seed and exits
+non-zero if any violation survives; with ``--shrink`` each failure is
+minimized and written as a replayable JSON artifact that ``replay``
+re-runs bit-for-bit.
 """
 
 from __future__ import annotations
@@ -90,7 +102,122 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_fuzz_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description="Run oracle-armed randomized scenarios derived from "
+                    "one root seed; exit non-zero on any violation.",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root seed; every scenario derives from it")
+    parser.add_argument("--iterations", type=int, default=10,
+                        help="how many scenarios to derive and run")
+    parser.add_argument("--start", type=int, default=0,
+                        help="first scenario index (resume a sweep)")
+    parser.add_argument("--shrink", action="store_true",
+                        help="minimize each failing scenario before "
+                             "writing its artifact")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="directory for failing-scenario artifacts "
+                             "(created if missing)")
+    parser.add_argument("--stop-on-failure", action="store_true",
+                        help="stop the sweep at the first violation")
+    return parser
+
+
+def run_fuzz(argv: Sequence[str]) -> int:
+    from repro.verification import (
+        ScenarioFuzzer,
+        shrink_scenario,
+        write_artifact,
+    )
+
+    args = build_fuzz_parser().parse_args(argv)
+    out_dir: Optional[Path] = None
+    if args.out is not None:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+    fuzzer = ScenarioFuzzer(args.seed)
+    failures = []
+
+    def report(outcome) -> None:
+        status = "ok" if outcome.ok else (
+            f"FAIL ({len(outcome.violations)} violations)"
+        )
+        print(f"  {outcome.scenario.label:<44} "
+              f"tx={outcome.committed_tx:<8,} "
+              f"hash={outcome.commit_hash}  {status}")
+        for violation in outcome.violations:
+            print(f"    [{violation.oracle}/{violation.kind}] "
+                  f"{violation.message}")
+
+    print(f"fuzz: root seed {args.seed}, scenarios "
+          f"{args.start}..{args.start + args.iterations - 1}")
+    outcomes = fuzzer.run(
+        args.iterations, start=args.start,
+        stop_on_failure=args.stop_on_failure, on_outcome=report,
+    )
+    for outcome in outcomes:
+        if outcome.ok:
+            continue
+        failures.append(outcome)
+        original = outcome.scenario
+        shrink_runs = None
+        if args.shrink:
+            result = shrink_scenario(original)
+            outcome = result.outcome
+            shrink_runs = result.runs
+            print(f"  shrunk {original.label}: "
+                  f"{len(original.fault_spec)} -> "
+                  f"{len(outcome.scenario.fault_spec)} fault events, "
+                  f"duration {original.duration} -> "
+                  f"{outcome.scenario.duration}s ({result.runs} runs)")
+        if out_dir is not None:
+            path = out_dir / (
+                f"fuzz-{args.seed}-{original.index:04d}.json"
+            )
+            write_artifact(
+                str(path), outcome,
+                original=original if args.shrink else None,
+                shrink_runs=shrink_runs,
+            )
+            print(f"  wrote {path}")
+    print(f"fuzz: {len(outcomes)} scenarios, {len(failures)} failing")
+    return 1 if failures else 0
+
+
+def run_replay(argv: Sequence[str]) -> int:
+    from repro.verification import replay_artifact
+
+    parser = argparse.ArgumentParser(
+        prog="repro replay",
+        description="Re-run the scenario stored in a fuzz artifact; "
+                    "exit non-zero if the violation still reproduces.",
+    )
+    parser.add_argument("artifact", help="path to a fuzz artifact JSON")
+    args = parser.parse_args(argv)
+    outcome = replay_artifact(args.artifact)
+    print(f"replay: {outcome.scenario.label} "
+          f"tx={outcome.committed_tx:,} hash={outcome.commit_hash}")
+    for violation in outcome.violations:
+        print(f"  [{violation.oracle}/{violation.kind}] {violation.message}")
+    if outcome.ok:
+        print("replay: no violations reproduced")
+        return 0
+    print(f"replay: {len(outcome.violations)} violations reproduced")
+    return 1
+
+
 def run_cli(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        import sys
+
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] == "fuzz":
+        return run_fuzz(argv[1:])
+    if argv and argv[0] == "replay":
+        return run_replay(argv[1:])
     args = build_parser().parse_args(argv)
     overrides = {
         key: value

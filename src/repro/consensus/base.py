@@ -83,5 +83,11 @@ class ConsensusEngine(abc.ABC):
         )
 
     def handle_commit(self, proposal: Proposal) -> None:
-        """Common commit path: notify mempool (metrics + GC + execution)."""
+        """Common commit path: notify mempool (metrics + GC + execution).
+
+        The observer tap fires at the *consensus* commit, before the
+        mempool resolves missing bodies — the moment the safety and
+        availability oracles reason about.
+        """
+        self.host.notify_commit(proposal)
         self.mempool.on_commit(proposal, self.host.sim.now)

@@ -82,6 +82,13 @@ class HotStuff(ConsensusEngine):
         self._orphans: dict[int, list[Proposal]] = {}
         self._deferred_propose: dict[int, tuple[int, QuorumCert]] = {}
         self._sync_requested: set[int] = set()
+        # Highest view each peer has announced via NEW_VIEW. When f + 1
+        # distinct peers claim a higher view, at least one honest replica
+        # is there, so jumping is safe — without this, a long fault can
+        # leave the cluster split into view cohorts more than one timeout
+        # apart, where every new-view quorum completes just after its
+        # leader moved on (a permanent pacemaker livelock).
+        self._view_claims: dict[int, int] = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -131,14 +138,15 @@ class HotStuff(ConsensusEngine):
         self.host.metrics.record_view_change(self.node_id, view)
         next_view = view + 1
         if not self.host.behavior.silent:
-            leader = self.leader_of(next_view)
+            # Broadcast (DiemBFT-style timeout messages) rather than
+            # sending to the next leader alone: every replica sees the
+            # view claim, so cohorts split by a long fault re-synchronize
+            # via _maybe_catch_up instead of livelocking one view apart.
             message = (next_view, self.high_qc)
-            if leader == self.node_id:
-                self._record_new_view(next_view, self.node_id, self.high_qc)
-            else:
-                self.send(
-                    leader, MessageKinds.NEW_VIEW, sizes.NEW_VIEW, message
-                )
+            self.broadcast(
+                MessageKinds.NEW_VIEW, sizes.NEW_VIEW, message
+            )
+            self._record_new_view(next_view, self.node_id, self.high_qc)
         self._enter_view(next_view)
 
     # -- proposing -----------------------------------------------------
@@ -333,6 +341,9 @@ class HotStuff(ConsensusEngine):
         if not verify_quorum_cert(qc, self.config.consensus_quorum, self.config.n):
             return
         self._process_qc(qc)
+        if view > self._view_claims.get(src, 0):
+            self._view_claims[src] = view
+            self._maybe_catch_up()
         if self.leader_of(view) != self.node_id or view in self._proposed_views:
             return
         entries = self._new_views.setdefault(view, {})
@@ -342,6 +353,16 @@ class HotStuff(ConsensusEngine):
             self._enter_view(view)
             if self.cur_view == view:
                 self._try_propose(view, best)
+
+    def _maybe_catch_up(self) -> None:
+        """Jump forward once f + 1 peers have announced a higher view."""
+        needed = self.config.n - self.config.consensus_quorum + 1
+        claims = sorted(self._view_claims.values(), reverse=True)
+        if len(claims) < needed:
+            return
+        target = claims[needed - 1]
+        if target > self.cur_view:
+            self._enter_view(target)
 
     # -- chain logic -------------------------------------------------------
 

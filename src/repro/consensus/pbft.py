@@ -28,12 +28,16 @@ if TYPE_CHECKING:  # pragma: no cover
 class _SlotState:
     """Prepare/commit vote accumulation for one sequence number."""
 
-    __slots__ = ("proposal", "prepares", "commits", "prepared", "committed")
+    __slots__ = (
+        "proposal", "prepares", "commits",
+        "prepare_sent", "prepared", "committed",
+    )
 
     def __init__(self) -> None:
         self.proposal = None
         self.prepares: set[int] = set()
         self.commits: set[int] = set()
+        self.prepare_sent = False
         self.prepared = False
         self.committed = False
 
@@ -51,19 +55,27 @@ class Pbft(ConsensusEngine):
         self._next_seq = 0
         self._last_committed = -1
         self._pump_scheduled = False
+        self._retransmit_timer = None
 
     def start(self) -> None:
         if self.current_leader() == self.node_id:
             self._pump()
+            self._arm_retransmit()
 
     def current_leader(self) -> int:
         return self.leader_of(0)
+
+    def suspend(self) -> None:
+        if self._retransmit_timer is not None:
+            self._retransmit_timer.cancel()
+            self._retransmit_timer = None
 
     def resume(self) -> None:
         # The pump chain dies while the replica is silent (crashed); the
         # leader must restart it or the pipeline stalls forever.
         if self.current_leader() == self.node_id:
             self._pump()
+            self._arm_retransmit()
 
     # -- leader ----------------------------------------------------------
 
@@ -100,6 +112,47 @@ class Pbft(ConsensusEngine):
         self._pump_scheduled = True
         self.host.sim.schedule(self.config.empty_view_delay, self._pump)
 
+    def _arm_retransmit(self) -> None:
+        if self._retransmit_timer is not None:
+            self._retransmit_timer.cancel()
+        self._retransmit_timer = self.host.sim.schedule(
+            self.config.view_timeout, self._retransmit
+        )
+
+    def _retransmit(self) -> None:
+        """Rebroadcast pre-prepares for slots stuck in the window.
+
+        The normal case has no view change, so a pre-prepare or vote lost
+        to a partition would jam the pipelined window forever: the window
+        check ``_next_seq - _last_committed <= pbft_window`` never opens
+        again. The leader periodically re-broadcasts every uncommitted
+        in-window proposal; replicas answer duplicates by re-sending their
+        own votes (see :meth:`_on_pre_prepare`), repairing the quorums.
+        """
+        self._retransmit_timer = None
+        if self.host.behavior.silent:
+            return
+        for seq in range(self._last_committed + 1, self._next_seq):
+            slot = self._slots.get(seq)
+            if slot is None or slot.committed or slot.proposal is None:
+                continue
+            self.broadcast(
+                MessageKinds.PROPOSAL, slot.proposal.size_bytes,
+                (seq, slot.proposal),
+            )
+            self._resend_votes(seq, slot)
+        self._arm_retransmit()
+
+    def _resend_votes(self, seq: int, slot: _SlotState) -> None:
+        if slot.prepare_sent:
+            self.broadcast(
+                MessageKinds.PBFT_PREPARE, sizes.VOTE, (seq, self.node_id)
+            )
+        if slot.prepared:
+            self.broadcast(
+                MessageKinds.PBFT_COMMIT, sizes.VOTE, (seq, self.node_id)
+            )
+
     # -- message handling ----------------------------------------------
 
     def on_message(self, envelope: Envelope) -> None:
@@ -122,6 +175,10 @@ class Pbft(ConsensusEngine):
     def _on_pre_prepare(self, seq: int, proposal: Proposal) -> None:
         slot = self._slot(seq)
         if slot.proposal is not None:
+            # Leader retransmission: our earlier votes may be the ones
+            # that were lost, so answer the duplicate by re-sending them.
+            if not slot.committed and not self.host.behavior.silent:
+                self._resend_votes(seq, slot)
             return
         if not self.mempool.verify_payload(proposal.payload):
             return
@@ -130,6 +187,7 @@ class Pbft(ConsensusEngine):
             return
 
         def send_prepare() -> None:
+            slot.prepare_sent = True
             self.broadcast(
                 MessageKinds.PBFT_PREPARE, sizes.VOTE, (seq, self.node_id)
             )

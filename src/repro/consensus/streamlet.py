@@ -16,7 +16,13 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.config import ProtocolConfig
 from repro.consensus.base import ConsensusEngine
-from repro.crypto import GENESIS_QC, Signature, vote_signature
+from repro.crypto import (
+    GENESIS_QC,
+    QuorumCert,
+    Signature,
+    verify_quorum_cert,
+    vote_signature,
+)
 from repro.mempool.base import MessageKinds
 from repro.sim.network import Envelope
 from repro.types import sizes
@@ -55,6 +61,16 @@ class Streamlet(ConsensusEngine):
         self._unresolved: dict[int, Proposal] = {}
         self._block_counter = 0
         self._epoch_timer = None
+        # Proposals whose parent has not arrived yet (lost or still in
+        # flight) park here; chain sync asks for a retransmission so one
+        # dropped proposal cannot hide the rest of the chain forever.
+        self._orphans: dict[int, list[Proposal]] = {}
+        self._sync_requested: set[int] = set()
+        # Notarization certificates, piggybacked on proposals through the
+        # ``justify`` field (implicit echoing): a replica whose vote copies
+        # were lost still learns the parent is notarized from any child
+        # extending it, so vote loss cannot split the notarized views.
+        self._certs: dict[int, QuorumCert] = {GENESIS_ID: GENESIS_QC}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -101,7 +117,7 @@ class Streamlet(ConsensusEngine):
             height=tip.height + 1,
             proposer=self.node_id,
             parent_id=tip.block_id,
-            justify=GENESIS_QC,
+            justify=self._certs.get(tip.block_id, GENESIS_QC),
             payload=payload,
             created_at=self.host.sim.now,
         )
@@ -126,15 +142,27 @@ class Streamlet(ConsensusEngine):
         elif kind == MessageKinds.VOTE:
             block_id, signature = envelope.payload
             self._handle_vote(block_id, signature)
+        elif kind == MessageKinds.SYNC_REQUEST:
+            self._serve_sync(envelope.src, envelope.payload)
 
     def _handle_proposal(self, proposal: Proposal) -> None:
         if proposal.block_id in self.proposals:
             return
         parent = self.proposals.get(proposal.parent_id)
         if parent is None:
+            # Parent lost or still in flight: park and ask the proposer
+            # (who must hold the whole ancestry it extended) for a
+            # retransmission, else this hole hides all descendants.
+            self._orphans.setdefault(proposal.parent_id, []).append(proposal)
+            self._request_sync(proposal.parent_id, proposal.proposer)
             return
         self.proposals[proposal.block_id] = proposal
         self._unresolved[proposal.block_id] = proposal
+        self._adopt_cert(proposal.justify)
+        self._release_orphans(proposal)
+        # Votes can outrun the proposal under loss-induced reordering;
+        # a quorum that already accumulated notarizes immediately.
+        self._try_notarize(proposal.block_id)
         if self.host.behavior.silent:
             return
         if proposal.view != self.epoch or proposal.view in self._voted_epochs:
@@ -168,13 +196,86 @@ class Streamlet(ConsensusEngine):
             return
         voters = self._votes.setdefault(block_id, set())
         voters.add(signature.signer)
-        if len(voters) < self.config.consensus_quorum:
+        self._try_notarize(block_id)
+
+    def _try_notarize(self, block_id: int) -> None:
+        """Notarize once both the quorum and the proposal body are here."""
+        if block_id in self.notarized:
+            return
+        voters = self._votes.get(block_id)
+        if voters is None or len(voters) < self.config.consensus_quorum:
             return
         if block_id not in self.proposals:
             return
+        proposal = self.proposals[block_id]
         self.notarized.add(block_id)
+        self._certs[block_id] = QuorumCert(
+            block_id=block_id, view=proposal.view,
+            signers=tuple(sorted(voters)),
+        )
         self._votes.pop(block_id, None)
-        self._check_finalization(self.proposals[block_id])
+        self._check_finalization(proposal)
+
+    def _adopt_cert(self, qc: QuorumCert) -> None:
+        """Notarize from a piggybacked certificate instead of votes."""
+        if qc.block_id == GENESIS_ID or qc.block_id in self.notarized:
+            return
+        if qc.block_id not in self.proposals:
+            return
+        if not verify_quorum_cert(
+            qc, self.config.consensus_quorum, self.config.n
+        ):
+            return
+        self._certs[qc.block_id] = qc
+        self.notarized.add(qc.block_id)
+        self._votes.pop(qc.block_id, None)
+        self._check_finalization(self.proposals[qc.block_id])
+
+    # -- chain sync ----------------------------------------------------
+
+    def _release_orphans(self, proposal: Proposal) -> None:
+        for orphan in self._orphans.pop(proposal.block_id, []):
+            self._handle_proposal(orphan)
+
+    def _request_sync(self, block_id: int, holder: int) -> None:
+        """Ask ``holder`` to retransmit a missing ancestor.
+
+        Requests repeat on an epoch cadence against rotating holders
+        until the block arrives, bounding the damage of one lost or
+        crashed holder.
+        """
+        if block_id in self.proposals or self.host.behavior.silent:
+            return
+        if block_id in self._sync_requested:
+            return
+        self._sync_requested.add(block_id)
+        self._send_sync_round(block_id, holder, rounds_left=10)
+
+    def _send_sync_round(
+        self, block_id: int, holder: int, rounds_left: int
+    ) -> None:
+        if block_id in self.proposals or rounds_left <= 0:
+            self._sync_requested.discard(block_id)
+            return
+        self.send(holder, MessageKinds.SYNC_REQUEST, sizes.FETCH_REQUEST,
+                  block_id)
+        leaders = self.host.leader_set
+        next_holder = leaders[
+            (leaders.index(holder) + 1) % len(leaders)
+        ] if holder in leaders else leaders[0]
+        self.host.sim.schedule(
+            self.config.streamlet_epoch,
+            lambda: self._send_sync_round(
+                block_id, next_holder, rounds_left - 1
+            ),
+        )
+
+    def _serve_sync(self, requester: int, block_id: int) -> None:
+        proposal = self.proposals.get(block_id)
+        if proposal is None or self.host.behavior.silent:
+            return
+        self.send(requester, MessageKinds.PROPOSAL, proposal.size_bytes,
+                  proposal)
 
     # -- finalization --------------------------------------------------
 

@@ -25,6 +25,7 @@ metrics hub for per-window recovery reporting.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import math
 from dataclasses import dataclass, field
@@ -223,7 +224,27 @@ _EVENT_NAMES = {
     "swap": SwapBehavior,
 }
 
+_EVENT_CLASSES = {cls: name for name, cls in _EVENT_NAMES.items()}
+
 _TUPLE_FIELDS = ("kinds", "nodes")
+
+
+def _event_to_dict(event: FaultEvent) -> dict:
+    name = _EVENT_CLASSES.get(type(event))
+    if name is None:
+        raise ValueError(f"unknown fault event class {type(event).__name__}")
+    spec: dict = {"event": name}
+    for f in dataclasses.fields(event):
+        value = getattr(event, f.name)
+        default = f.default
+        if default is not dataclasses.MISSING and value == default:
+            continue
+        if f.name == "groups":
+            value = [list(group) for group in value]
+        elif isinstance(value, tuple):
+            value = list(value)
+        spec[f.name] = value
+    return spec
 
 
 def _event_from_dict(entry: dict) -> FaultEvent:
@@ -269,6 +290,17 @@ class FaultSchedule:
     def from_json(cls, text: str) -> "FaultSchedule":
         """Parse the CLI's JSON schedule format."""
         return cls.from_spec(json.loads(text))
+
+    def to_spec(self) -> list[dict]:
+        """Plain-dict form; round-trips through :meth:`from_spec`.
+
+        Fields left at their defaults are omitted, so the spec matches
+        what a human would write in a ``--faults`` JSON file.
+        """
+        return [_event_to_dict(event) for event in self.events]
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_spec())
 
     def validate(self, n: int) -> None:
         """Check every event against a network of ``n`` replicas."""

@@ -9,7 +9,7 @@ measurement window into an :class:`ExperimentResult`.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.consensus import CONSENSUS_CLASSES
@@ -43,11 +43,16 @@ class RunningExperiment:
     metrics: MetricsHub
     generator: WorkloadGenerator
     injector: Optional[FaultInjector] = None
+    #: Optional invariant-oracle suite (``repro.verification``), already
+    #: attached to every replica's observer tap by ``build_experiment``.
+    oracles: Optional[object] = None
 
     def run(self) -> "ExperimentResult":
         started = time.perf_counter()
         self.sim.run_until(self.config.end_time)
         wall = time.perf_counter() - started
+        if self.oracles is not None:
+            self.oracles.finalize()
         return summarize(self, wall_clock_s=wall)
 
 
@@ -69,6 +74,9 @@ class ExperimentResult:
     #: experiment was driven manually rather than via ``run()``).
     events_processed: int = 0
     wall_clock_s: float = 0.0
+    #: Invariant-oracle violations observed during the run (empty when no
+    #: oracle suite was armed; see ``repro.verification``).
+    violations: list = field(default_factory=list)
 
     @property
     def events_per_sec(self) -> float:
@@ -138,8 +146,21 @@ def _make_behavior(
     return behavior_for(config.fault, config.protocol)
 
 
-def build_experiment(config: ExperimentConfig) -> RunningExperiment:
-    """Wire a complete experiment from its configuration."""
+def build_experiment(
+    config: ExperimentConfig,
+    oracles: Optional[object] = None,
+    *,
+    mempool_cls: Optional[type] = None,
+    consensus_cls: Optional[type] = None,
+) -> RunningExperiment:
+    """Wire a complete experiment from its configuration.
+
+    ``oracles`` is an invariant-oracle suite (``repro.verification``)
+    attached to every replica's observer tap. ``mempool_cls`` /
+    ``consensus_cls`` override the classes looked up from the protocol's
+    names — the hook the mutation self-tests use to wire intentionally
+    broken variants into an otherwise standard experiment.
+    """
     protocol = config.protocol.with_updates(byzantine=config.byzantine_ids)
     sim = Simulator()
     rng = RngRegistry(config.seed)
@@ -154,8 +175,10 @@ def build_experiment(config: ExperimentConfig) -> RunningExperiment:
         if node not in config.byzantine_ids
     )
     shared_pool = SharedPendingPool(protocol.tx_payload)
-    mempool_cls = MEMPOOL_CLASSES[protocol.mempool]
-    consensus_cls = CONSENSUS_CLASSES[protocol.consensus]
+    if mempool_cls is None:
+        mempool_cls = MEMPOOL_CLASSES[protocol.mempool]
+    if consensus_cls is None:
+        consensus_cls = CONSENSUS_CLASSES[protocol.consensus]
 
     replicas: list[Replica] = []
     for node_id in range(protocol.n):
@@ -169,8 +192,8 @@ def build_experiment(config: ExperimentConfig) -> RunningExperiment:
             behavior=_make_behavior(config, node_id),
             leader_set=leader_set,
         )
-        if mempool_cls is NativeMempool:
-            mempool = NativeMempool(replica, protocol, shared_pool)
+        if issubclass(mempool_cls, NativeMempool):
+            mempool = mempool_cls(replica, protocol, shared_pool)
         else:
             mempool = mempool_cls(replica, protocol)
         consensus = consensus_cls(replica, mempool, protocol)
@@ -206,7 +229,7 @@ def build_experiment(config: ExperimentConfig) -> RunningExperiment:
         )
         injector.install(config.faults)
 
-    return RunningExperiment(
+    experiment = RunningExperiment(
         config=config,
         sim=sim,
         network=network,
@@ -215,7 +238,11 @@ def build_experiment(config: ExperimentConfig) -> RunningExperiment:
         metrics=metrics,
         generator=generator,
         injector=injector,
+        oracles=oracles,
     )
+    if oracles is not None:
+        oracles.attach(experiment)
+    return experiment
 
 
 def summarize(
@@ -237,12 +264,25 @@ def summarize(
         config=config,
         events_processed=experiment.sim.processed,
         wall_clock_s=wall_clock_s,
+        violations=(
+            list(experiment.oracles.violations)
+            if experiment.oracles is not None else []
+        ),
     )
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+def run_experiment(
+    config: ExperimentConfig,
+    oracles: Optional[object] = None,
+    *,
+    mempool_cls: Optional[type] = None,
+    consensus_cls: Optional[type] = None,
+) -> ExperimentResult:
     """Build, run, and summarize in one call."""
-    return build_experiment(config).run()
+    return build_experiment(
+        config, oracles,
+        mempool_cls=mempool_cls, consensus_cls=consensus_cls,
+    ).run()
 
 
 def _default_label(config: ExperimentConfig) -> str:

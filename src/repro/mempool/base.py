@@ -113,8 +113,13 @@ class Mempool(abc.ABC):
         """Commit hook: report metrics once the block is full, then GC.
 
         The metrics hub deduplicates by block id, so every replica may
-        call this; the first (earliest) report wins.
+        call this; the first (earliest) report wins. Committed ids are
+        marked *before* resolution: resolution can lag behind the commit
+        (missing bodies still being fetched), and a fork abandoned in the
+        same commit sweep must not re-queue ids the canonical chain just
+        committed.
         """
+        self.mark_committed(proposal)
         def report(block: Block) -> None:
             latencies = [
                 (commit_time - mb.mean_arrival, float(mb.tx_count))
@@ -128,10 +133,17 @@ class Mempool(abc.ABC):
                 commit_time=commit_time,
             )
             block.committed_at = commit_time
+            self.host.notify_block_resolved(block)
             self.host.on_block_executed(block)
             self.garbage_collect(proposal)
 
         self.resolve(proposal, report)
+
+    def mark_committed(self, proposal: Proposal) -> None:
+        """Record the proposal's content as committed, synchronously.
+
+        Runs at commit time, before the (possibly slow) block resolution
+        that precedes :meth:`garbage_collect`."""
 
     def garbage_collect(self, proposal: Proposal) -> None:
         """Drop per-microblock bookkeeping for a committed proposal."""

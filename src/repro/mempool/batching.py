@@ -90,4 +90,5 @@ class MicroBlockBatcher:
             if self._flush_timer is not None:
                 self._flush_timer.cancel()
                 self._flush_timer = None
+        self._host.notify_microblock(microblock)
         self._emit(microblock)

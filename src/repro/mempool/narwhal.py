@@ -181,7 +181,7 @@ class NarwhalMempool(Mempool):
                 if holders:
                     self._fetch_from(mb_id, holders)
 
-    def garbage_collect(self, proposal: Proposal) -> None:
+    def mark_committed(self, proposal: Proposal) -> None:
         for mb_id in proposal.payload.microblock_ids:
             self._committed.add(mb_id)
 

@@ -94,6 +94,7 @@ class NativeMempool(Mempool):
             sum_arrival=sum_arrival,
         )
         self._counter += 1
+        self.host.notify_microblock(microblock)
         return Payload(embedded=(microblock,))
 
     def prepare(self, proposal: Proposal, on_ready: OnReady) -> None:

@@ -134,10 +134,12 @@ class SimpleSharedMempool(Mempool):
                     mb_id, single_target(proposal.proposer), delay=delay
                 )
 
+    def mark_committed(self, proposal: Proposal) -> None:
+        for mb_id in proposal.payload.microblock_ids:
+            self._committed.add(mb_id)
+
     def garbage_collect(self, proposal: Proposal) -> None:
         ids = list(proposal.payload.microblock_ids)
-        for mb_id in ids:
-            self._committed.add(mb_id)
         retention = self.config.gc_retention
         if retention > 0:
             self.host.sim.schedule(

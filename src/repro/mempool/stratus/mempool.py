@@ -193,16 +193,18 @@ class StratusMempool(Mempool):
             if entry.mb_id not in self.store and entry.proof is not None:
                 self.pab.fetch(entry.mb_id, entry.proof)
 
-    def garbage_collect(self, proposal: Proposal) -> None:
-        """Commit hook (Section VIII): retire the proposal's microblocks.
+    def mark_committed(self, proposal: Proposal) -> None:
+        """Commit hook (Section VIII): ids must never re-enter avaQue."""
+        for mb_id in proposal.payload.microblock_ids:
+            self._committed.add(mb_id)
 
-        Ids are marked committed immediately (they must never re-enter
-        avaQue); bodies and proofs are discarded after the retention
-        window so straggling replicas can still fetch them meanwhile.
+    def garbage_collect(self, proposal: Proposal) -> None:
+        """Retire a resolved proposal's microblock bodies.
+
+        Bodies and proofs are discarded after the retention window so
+        straggling replicas can still fetch them meanwhile.
         """
         ids = list(proposal.payload.microblock_ids)
-        for mb_id in ids:
-            self._committed.add(mb_id)
         retention = self.config.gc_retention
         if retention > 0:
             self.host.sim.schedule(

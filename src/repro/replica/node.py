@@ -53,6 +53,10 @@ class Replica:
         self.executor: Optional["KVStore"] = None
         #: Optional protocol-event tracer (see :mod:`repro.tracing`).
         self.tracer = None
+        #: Optional invariant observer (see :mod:`repro.verification`):
+        #: receives consensus commits, microblock creations, and resolved
+        #: blocks. One attribute check per event when unset.
+        self.observer = None
         #: Crash-recovery lifecycle (see :meth:`crash` / :meth:`restart`).
         self.crashed = False
         self.restart_count = 0
@@ -147,6 +151,23 @@ class Replica:
         while self._exec_height + 1 in self._exec_buffer:
             self._exec_height += 1
             self.executor.apply_block(self._exec_buffer.pop(self._exec_height))
+
+    # -- verification taps ---------------------------------------------
+
+    def notify_commit(self, proposal) -> None:
+        """Consensus committed ``proposal`` locally (oracle tap point)."""
+        if self.observer is not None:
+            self.observer.on_local_commit(self, proposal)
+
+    def notify_microblock(self, microblock) -> None:
+        """This replica batched a new microblock (oracle tap point)."""
+        if self.observer is not None:
+            self.observer.on_microblock_created(self, microblock)
+
+    def notify_block_resolved(self, block: Block) -> None:
+        """A committed block became full locally (oracle tap point)."""
+        if self.observer is not None:
+            self.observer.on_block_resolved(self, block)
 
     def trace(self, kind: str, **details) -> None:
         """Record a protocol event if a tracer is attached (no-op cost

@@ -43,3 +43,16 @@ class RngRegistry:
         material = f"{self._root_seed}:fork:{name}".encode()
         digest = hashlib.sha256(material).digest()
         return RngRegistry(int.from_bytes(digest[:8], "big"))
+
+    def derive_seed(self, name: str) -> int:
+        """Derive a stable integer child seed for ``name``.
+
+        Used where a plain integer is needed rather than a stream — e.g.
+        the scenario fuzzer stamps each generated experiment with
+        ``derive_seed(f"scenario.{i}")`` so one root seed reproduces the
+        whole composition (topology, workload, fault schedule, and the
+        run itself) bit-for-bit.
+        """
+        material = f"{self._root_seed}:seed:{name}".encode()
+        digest = hashlib.sha256(material).digest()
+        return int.from_bytes(digest[:8], "big")

@@ -1,0 +1,348 @@
+"""Randomized scenario fuzzer driven by a single root seed.
+
+One integer root seed determines everything: iteration ``i`` derives its
+own RNG stream (``scenario.{i}``) from an :class:`RngRegistry`, draws a
+protocol/mempool/topology/workload combination and a randomized
+self-healing :class:`FaultSchedule`, and runs the experiment with the
+invariant oracles armed. The per-run simulation seed is itself derived
+from the registry, so replaying a recorded scenario reproduces the run
+bit-for-bit — the FoundationDB-style property the shrinker depends on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.config import CONSENSUS_KINDS, MEMPOOL_KINDS, ProtocolConfig
+from repro.faults.schedule import FaultSchedule
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import ExperimentResult, run_experiment
+from repro.sim.rng import RngRegistry
+from repro.verification.oracles import OracleSuite, standard_suite
+
+#: Protocol overrides shared by every fuzz scenario: small microblocks
+#: and fast timers so short simulated runs still exercise full commit
+#: pipelines (mirrors ``tests/helpers.py``).
+QUICK_PROTOCOL = {
+    "batch_bytes": 4 * 128,
+    "batch_timeout": 0.05,
+    "view_timeout": 0.5,
+    "empty_view_delay": 0.002,
+    "streamlet_epoch": 0.1,
+    # Keep the production ratio between the fetch grace period (delta in
+    # Algorithm 2) and the view timeout. Leaving delta at its 0.5s
+    # default would make any fetch-gated vote take a full view, so every
+    # view with a not-yet-disseminated microblock would time out.
+    "fetch_timeout": 0.125,
+}
+
+#: Extra slack the fuzzer leaves between the last fault healing and the
+#: end of the run, on top of the liveness bound.
+LIVENESS_MARGIN = 0.5
+
+FAULT_KINDS = ("crash", "partition", "loss", "bandwidth", "delay")
+
+
+def default_liveness_bound(protocol: ProtocolConfig) -> float:
+    """How long after a heal the liveness oracle allows the next commit.
+
+    Several view timeouts (a view-change cascade may need to walk past
+    every crashed leader) or epoch lengths, with a one-second floor.
+    """
+    return max(
+        4 * protocol.view_timeout,
+        8 * protocol.streamlet_epoch,
+        1.0,
+    )
+
+
+def random_fault_schedule(
+    rng: random.Random,
+    n: int,
+    consensus: str = "hotstuff",
+    earliest: float = 0.5,
+    deadline: float = 3.0,
+    max_events: int = 4,
+) -> list[dict]:
+    """Draw a valid, self-healing fault-schedule spec from ``rng``.
+
+    Every disturbance heals by ``deadline`` (crashes restart, partitions
+    expire), at most ``f`` replicas ever crash, and PBFT's fixed leader
+    (replica 0) is never crashed — constraints under which the liveness
+    oracle's recovery bound is a fair demand.
+    """
+    if deadline - earliest < 0.2 or max_events <= 0:
+        return []
+    f = (n - 1) // 3
+    crash_pool = [
+        node for node in range(n)
+        if not (consensus == "pbft" and node == 0)
+    ]
+    crashed: set[int] = set()
+    spec: list[dict] = []
+    for _ in range(rng.randint(1, max_events)):
+        kind = rng.choice(FAULT_KINDS)
+        start = round(rng.uniform(earliest, deadline - 0.2), 3)
+        duration = round(rng.uniform(0.2, deadline - start), 3)
+        if kind == "crash":
+            pool = [node for node in crash_pool if node not in crashed]
+            if len(crashed) >= f or not pool:
+                continue
+            node = rng.choice(pool)
+            crashed.add(node)
+            spec.append({"event": "crash", "at": start, "node": node})
+            spec.append({
+                "event": "restart", "at": round(start + duration, 3),
+                "node": node,
+            })
+        elif kind == "partition":
+            nodes = list(range(n))
+            rng.shuffle(nodes)
+            cut = rng.randint(1, n - 1)
+            spec.append({
+                "event": "partition", "at": start, "duration": duration,
+                "groups": [sorted(nodes[:cut]), sorted(nodes[cut:])],
+            })
+        elif kind == "loss":
+            entry = {
+                "event": "loss", "at": start, "duration": duration,
+                "rate": round(rng.uniform(0.05, 0.35), 3),
+            }
+            channel = rng.choice(("data", "consensus", None))
+            if channel is not None:
+                entry["channel"] = channel
+            spec.append(entry)
+        elif kind == "bandwidth":
+            spec.append({
+                "event": "bandwidth", "at": start, "duration": duration,
+                "factor": round(rng.uniform(0.2, 0.7), 3),
+                "nodes": sorted(rng.sample(
+                    range(n), rng.randint(1, max(1, n // 2))
+                )),
+            })
+        else:  # delay
+            spec.append({
+                "event": "delay", "at": start, "duration": duration,
+                "base": round(rng.uniform(0.02, 0.08), 4),
+                "jitter": round(rng.uniform(0.0, 0.04), 4),
+                "bandwidth_factor": round(rng.uniform(0.4, 1.0), 3),
+            })
+    spec.sort(key=lambda entry: entry["at"])
+    return spec
+
+
+@dataclass
+class Scenario:
+    """One fully determined fuzz case; JSON round-trips for artifacts."""
+
+    seed: int
+    consensus: str
+    mempool: str
+    n: int
+    duration: float
+    topology: str = "lan"
+    rate_tps: float = 500.0
+    warmup: float = 0.5
+    fault_spec: list = field(default_factory=list)
+    index: int = 0
+    root_seed: Optional[int] = None
+
+    @property
+    def label(self) -> str:
+        return (
+            f"fuzz[{self.index}]-{self.mempool}/{self.consensus}"
+            f"-n{self.n}-seed{self.seed}"
+        )
+
+    @property
+    def end_time(self) -> float:
+        return self.warmup + self.duration
+
+    def fault_schedule(self) -> Optional[FaultSchedule]:
+        if not self.fault_spec:
+            return None
+        return FaultSchedule.from_spec(self.fault_spec)
+
+    def protocol_config(self) -> ProtocolConfig:
+        return ProtocolConfig(
+            n=self.n, consensus=self.consensus, mempool=self.mempool,
+            **QUICK_PROTOCOL,
+        )
+
+    def experiment_config(self) -> ExperimentConfig:
+        return ExperimentConfig(
+            protocol=self.protocol_config(),
+            topology_kind=self.topology,
+            rate_tps=self.rate_tps,
+            duration=self.duration,
+            warmup=self.warmup,
+            seed=self.seed,
+            faults=self.fault_schedule(),
+            label=self.label,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "consensus": self.consensus,
+            "mempool": self.mempool,
+            "n": self.n,
+            "duration": self.duration,
+            "topology": self.topology,
+            "rate_tps": self.rate_tps,
+            "warmup": self.warmup,
+            "fault_spec": self.fault_spec,
+            "index": self.index,
+            "root_seed": self.root_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        return cls(**data)
+
+    def replaced(self, **changes) -> "Scenario":
+        data = self.to_dict()
+        data.update(changes)
+        return Scenario.from_dict(data)
+
+
+@dataclass
+class FuzzOutcome:
+    """Result of one oracle-armed scenario run."""
+
+    scenario: Scenario
+    violations: list
+    committed_tx: int
+    commit_hash: str
+    events_processed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "violations": [v.to_dict() for v in self.violations],
+            "committed_tx": self.committed_tx,
+            "commit_hash": self.commit_hash,
+            "events_processed": self.events_processed,
+        }
+
+
+def commit_sequence_hash(result: ExperimentResult) -> str:
+    """Digest of the committed sequence — the determinism fingerprint.
+
+    Two runs of the same scenario must produce identical hashes; any
+    divergence means nondeterminism leaked into the simulation.
+    """
+    digest = hashlib.sha256()
+    for record in result.metrics.commits:
+        digest.update(
+            f"{record.block_id}:{record.commit_time:.9f}:"
+            f"{record.tx_count};".encode()
+        )
+    return digest.hexdigest()[:16]
+
+
+def run_scenario(
+    scenario: Scenario,
+    liveness_bound: Optional[float] = None,
+    strict_availability: bool = False,
+    mempool_cls: Optional[type] = None,
+    consensus_cls: Optional[type] = None,
+    suite: Optional[OracleSuite] = None,
+) -> FuzzOutcome:
+    """Run one scenario with the oracles armed."""
+    if suite is None:
+        suite = standard_suite(
+            liveness_bound=liveness_bound,
+            strict_availability=strict_availability,
+        )
+    result = run_experiment(
+        scenario.experiment_config(), suite,
+        mempool_cls=mempool_cls, consensus_cls=consensus_cls,
+    )
+    return FuzzOutcome(
+        scenario=scenario,
+        violations=list(result.violations),
+        committed_tx=result.committed_tx,
+        commit_hash=commit_sequence_hash(result),
+        events_processed=result.events_processed,
+    )
+
+
+class ScenarioFuzzer:
+    """Derives and runs scenarios from one root seed."""
+
+    def __init__(
+        self,
+        root_seed: int,
+        protocols: Sequence[str] = CONSENSUS_KINDS,
+        mempools: Sequence[str] = MEMPOOL_KINDS,
+        n_choices: Sequence[int] = (4, 5, 7),
+        duration_range: tuple[float, float] = (3.0, 5.0),
+        rate_range: tuple[float, float] = (100.0, 600.0),
+        max_fault_events: int = 4,
+    ) -> None:
+        self.root_seed = root_seed
+        self.protocols = tuple(protocols)
+        self.mempools = tuple(mempools)
+        self.n_choices = tuple(n_choices)
+        self.duration_range = duration_range
+        self.rate_range = rate_range
+        self.max_fault_events = max_fault_events
+        self._registry = RngRegistry(root_seed)
+
+    def scenario(self, index: int) -> Scenario:
+        """Derive scenario ``index`` (pure function of the root seed)."""
+        rng = self._registry.stream(f"scenario.{index}")
+        consensus = rng.choice(self.protocols)
+        mempool = rng.choice(self.mempools)
+        n = rng.choice(self.n_choices)
+        duration = round(rng.uniform(*self.duration_range), 3)
+        rate = round(rng.uniform(*self.rate_range), 1)
+        warmup = 0.5
+        protocol = ProtocolConfig(
+            n=n, consensus=consensus, mempool=mempool, **QUICK_PROTOCOL
+        )
+        bound = default_liveness_bound(protocol)
+        deadline = warmup + duration - bound - LIVENESS_MARGIN
+        fault_spec = random_fault_schedule(
+            rng, n=n, consensus=consensus,
+            earliest=warmup * 0.8, deadline=deadline,
+            max_events=self.max_fault_events,
+        )
+        return Scenario(
+            seed=self._registry.derive_seed(f"scenario.{index}.run"),
+            consensus=consensus,
+            mempool=mempool,
+            n=n,
+            duration=duration,
+            rate_tps=rate,
+            warmup=warmup,
+            fault_spec=fault_spec,
+            index=index,
+            root_seed=self.root_seed,
+        )
+
+    def run(
+        self,
+        iterations: int,
+        start: int = 0,
+        stop_on_failure: bool = False,
+        on_outcome: Optional[Callable[[FuzzOutcome], None]] = None,
+    ) -> list[FuzzOutcome]:
+        """Run ``iterations`` scenarios; optionally stop at first failure."""
+        outcomes: list[FuzzOutcome] = []
+        for index in range(start, start + iterations):
+            outcome = run_scenario(self.scenario(index))
+            outcomes.append(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+            if stop_on_failure and not outcome.ok:
+                break
+        return outcomes

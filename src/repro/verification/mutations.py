@@ -1,0 +1,237 @@
+"""Intentionally broken protocol variants — the oracles' self-test.
+
+Deterministic simulation testing is only trustworthy if the oracles
+demonstrably *catch* the bug classes they claim to cover. Each mutant
+here seeds one classic BFT/SMP bug into an otherwise standard stack, and
+the registry pairs it with a canned scenario under which the expected
+oracle must fire. ``tests/test_mutations.py`` asserts exactly that, so a
+refactor that silently blinds an oracle breaks the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.consensus.hotstuff import GENESIS_ID, HotStuff
+from repro.mempool.simple_smp import SimpleSharedMempool
+from repro.types.microblock import make_microblock_id
+from repro.types.proposal import Payload, PayloadEntry, Proposal
+from repro.verification.fuzzer import FuzzOutcome, Scenario, run_scenario
+
+#: Fabricated microblock counters start here so they can never collide
+#: with ids the real batcher hands out during a short run.
+_FABRICATED_BASE = 1 << 20
+
+
+class EagerCommitHotStuff(HotStuff):
+    """Commits on a bare 1-chain instead of the three-chain rule.
+
+    A certified block that later loses a view-change race is abandoned by
+    the canonical chain but was already committed here, so a replica cut
+    off right after certification commits a block the healed majority
+    replaces — conflicting commits the safety oracle must catch.
+    """
+
+    name = "hotstuff-eager"
+
+    def _process_qc(self, qc) -> None:
+        if qc.view > self.high_qc.view:
+            self.high_qc = qc
+        certified = self.proposals.get(qc.block_id)
+        if certified is None or certified.block_id == GENESIS_ID:
+            return
+        parent = self.proposals.get(certified.parent_id)
+        if (
+            parent is not None
+            and certified.view == parent.view + 1
+            and parent.view > self.locked_view
+        ):
+            self.locked_view = parent.view
+        if certified.block_id not in self.committed:
+            self._commit_chain(certified)
+
+
+class UngatedSimpleMempool(SimpleSharedMempool):
+    """Votes without holding the proposal's microblock bodies.
+
+    Skipping the fetch-before-vote gate is the moral equivalent of
+    Stratus skipping proof verification: commits no longer imply the
+    data is anywhere retrievable, which the availability oracle (armed
+    strictly) must flag under dissemination loss.
+    """
+
+    name = "simple-ungated"
+
+    def prepare(self, proposal: Proposal, on_ready) -> None:
+        for entry in proposal.payload.entries:
+            self._referenced.add(entry.mb_id)
+        on_ready()
+
+
+class ReplayingMempool(SimpleSharedMempool):
+    """Re-proposes an already committed microblock (double commit)."""
+
+    name = "simple-replaying"
+
+    def make_payload(self) -> Payload:
+        payload = super().make_payload()
+        if self._committed:
+            replayed = min(self._committed)
+            return Payload(
+                entries=payload.entries + (PayloadEntry(mb_id=replayed),),
+                embedded=payload.embedded,
+            )
+        return payload
+
+
+class FabricatingMempool(UngatedSimpleMempool):
+    """Proposes microblock ids no client batch ever produced.
+
+    Builds on the ungated variant: a gated mempool would deadlock
+    waiting for the nonexistent body instead of committing it, and the
+    fabrication would never reach the ledger oracle.
+    """
+
+    name = "simple-fabricating"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._fabricated = 0
+
+    def make_payload(self) -> Payload:
+        payload = super().make_payload()
+        fake = make_microblock_id(
+            self.node_id, _FABRICATED_BASE + self._fabricated
+        )
+        self._fabricated += 1
+        return Payload(
+            entries=payload.entries + (PayloadEntry(mb_id=fake),),
+            embedded=payload.embedded,
+        )
+
+
+class SilentPrepareMempool(SimpleSharedMempool):
+    """Never reports readiness, so no replica ever votes."""
+
+    name = "simple-mute"
+
+    def prepare(self, proposal: Proposal, on_ready) -> None:
+        for entry in proposal.payload.entries:
+            self._referenced.add(entry.mb_id)
+        # BUG under test: on_ready is never invoked.
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One seeded bug plus the scenario under which it must be caught."""
+
+    name: str
+    description: str
+    expected_oracle: str
+    scenario: Scenario
+    mempool_cls: Optional[type] = None
+    consensus_cls: Optional[type] = None
+    strict_availability: bool = False
+
+
+def _scenario(**overrides) -> Scenario:
+    base = {
+        "seed": 1,
+        "consensus": "hotstuff",
+        "mempool": "simple",
+        "n": 4,
+        "duration": 3.0,
+        "rate_tps": 400.0,
+        "fault_spec": [],
+    }
+    base.update(overrides)
+    return Scenario(**base)
+
+
+MUTANTS: dict[str, Mutant] = {
+    mutant.name: mutant
+    for mutant in (
+        Mutant(
+            name="eager-commit",
+            description=(
+                "HotStuff commits on a 1-chain; a replica partitioned "
+                "away right after certifying a block commits it while "
+                "the majority abandons it for a competing chain"
+            ),
+            expected_oracle="safety",
+            consensus_cls=EagerCommitHotStuff,
+            scenario=_scenario(
+                seed=30,
+                mempool="native",
+                n=7,
+                duration=5.5,
+                rate_tps=300.0,
+                fault_spec=[
+                    {"event": "partition", "at": 1.162, "duration": 2.318,
+                     "groups": [[3], [0, 1, 2, 4, 5, 6]]},
+                ],
+            ),
+        ),
+        Mutant(
+            name="skip-proof-gate",
+            description=(
+                "mempool votes without bodies (no proof/data gate); "
+                "commits stop implying retrievability under loss"
+            ),
+            expected_oracle="availability",
+            mempool_cls=UngatedSimpleMempool,
+            strict_availability=True,
+            scenario=_scenario(
+                n=7,
+                duration=4.0,
+                fault_spec=[
+                    {"event": "loss", "at": 0.6, "duration": 1.5,
+                     "rate": 0.8, "channel": "data"},
+                ],
+            ),
+        ),
+        Mutant(
+            name="replay-payload",
+            description="leader re-proposes an already committed microblock",
+            expected_oracle="smp-integrity",
+            mempool_cls=ReplayingMempool,
+            scenario=_scenario(),
+        ),
+        Mutant(
+            name="fabricate-payload",
+            description="leader proposes microblock ids no client produced",
+            expected_oracle="smp-integrity",
+            mempool_cls=FabricatingMempool,
+            scenario=_scenario(),
+        ),
+        Mutant(
+            name="mute-votes",
+            description="prepare never signals readiness; nothing commits",
+            expected_oracle="liveness",
+            mempool_cls=SilentPrepareMempool,
+            scenario=_scenario(duration=2.5),
+        ),
+    )
+}
+
+
+def run_mutant(
+    name: str, scenario: Optional[Scenario] = None
+) -> FuzzOutcome:
+    """Run a registered mutant under its (or a custom) scenario."""
+    mutant = MUTANTS[name]
+    return run_scenario(
+        scenario if scenario is not None else mutant.scenario,
+        strict_availability=mutant.strict_availability,
+        mempool_cls=mutant.mempool_cls,
+        consensus_cls=mutant.consensus_cls,
+    )
+
+
+def mutant_caught(mutant: Mutant, outcome: FuzzOutcome) -> bool:
+    """Did the oracle the mutant targets actually fire?"""
+    return any(
+        violation.oracle == mutant.expected_oracle
+        for violation in outcome.violations
+    )

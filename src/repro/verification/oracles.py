@@ -1,0 +1,536 @@
+"""Invariant oracles over deterministic simulation runs.
+
+Each oracle encodes one claim the paper makes about the protocols under
+test and checks it against *every* honest replica's observed execution:
+
+* :class:`SafetyOracle` — BFT agreement: no two honest replicas commit
+  conflicting blocks at a height, and each honest replica's committed
+  chain is prefix-consistent through its parent links.
+* :class:`AvailabilityOracle` — the PAB proof claim (Section IV-A) and
+  Narwhal's certificate claim: every microblock id referenced by a
+  committed block is retrievable from enough honest stores at commit
+  time.
+* :class:`LedgerOracle` — SMP integrity (Section III): committed content
+  is exactly client content. Nothing fabricated, nothing committed
+  twice, per-microblock transaction counts conserved.
+* :class:`LivenessOracle` — the robustness experiments' recovery claim
+  (Section VII): commit progress resumes within a bound after each
+  injected fault window heals.
+
+Oracles record :class:`Violation` objects on an :class:`OracleSuite`
+instead of raising, so one run surfaces every broken invariant and the
+fuzzer can attach the full list to its seed artifact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.faults.schedule import SwapBehavior
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.config import ExperimentConfig
+    from repro.harness.runner import RunningExperiment
+    from repro.replica.node import Replica
+    from repro.types.microblock import MicroBlock
+    from repro.types.proposal import Block, Proposal
+
+#: Block id of the implicit genesis block; also the ``parent_id`` used by
+#: engines (PBFT) whose slots do not chain through parent links.
+GENESIS_ID = 0
+
+
+@dataclass
+class Violation:
+    """One observed invariant breach, with enough context to debug it."""
+
+    oracle: str
+    kind: str
+    time: float
+    message: str
+    node: Optional[int] = None
+    details: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "oracle": self.oracle,
+            "kind": self.kind,
+            "time": self.time,
+            "message": self.message,
+            "node": self.node,
+            "details": self.details,
+        }
+
+    def __str__(self) -> str:
+        where = f" (replica {self.node})" if self.node is not None else ""
+        return (
+            f"[{self.oracle}/{self.kind}] t={self.time:.3f}{where}: "
+            f"{self.message}"
+        )
+
+
+def honest_ids(config: "ExperimentConfig") -> frozenset[int]:
+    """Replicas whose observations the oracles trust.
+
+    Configured Byzantine replicas and any replica a scripted
+    :class:`~repro.faults.schedule.SwapBehavior` turns non-honest are
+    excluded for the whole run; crashed-and-restarted replicas stay
+    honest (crash-recovery model).
+    """
+    suspect = set(config.byzantine_ids)
+    if config.faults is not None:
+        for event in config.faults.events:
+            if isinstance(event, SwapBehavior) and event.behavior != "honest":
+                suspect.add(event.node)
+    return frozenset(
+        node for node in range(config.protocol.n) if node not in suspect
+    )
+
+
+class Oracle:
+    """Base oracle: bound to a suite, observing one experiment."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.suite: Optional["OracleSuite"] = None
+
+    def bind(self, suite: "OracleSuite") -> None:
+        self.suite = suite
+
+    @property
+    def experiment(self) -> "RunningExperiment":
+        return self.suite.experiment
+
+    @property
+    def config(self) -> "ExperimentConfig":
+        return self.suite.experiment.config
+
+    def report(
+        self,
+        kind: str,
+        message: str,
+        node: Optional[int] = None,
+        **details,
+    ) -> None:
+        self.suite.record(Violation(
+            oracle=self.name,
+            kind=kind,
+            time=self.suite.now,
+            message=message,
+            node=node,
+            details=details,
+        ))
+
+    # -- hooks (all optional) ----------------------------------------------
+
+    def on_attach(self) -> None:
+        """The suite was attached to an experiment; reset state."""
+
+    def on_local_commit(
+        self, replica: "Replica", proposal: "Proposal"
+    ) -> None:
+        """An honest replica's consensus engine committed ``proposal``."""
+
+    def on_microblock_created(
+        self, replica: "Replica", microblock: "MicroBlock"
+    ) -> None:
+        """An honest replica batched a new microblock."""
+
+    def on_block_resolved(self, replica: "Replica", block: "Block") -> None:
+        """A committed block became full at an honest replica."""
+
+    def finalize(self) -> None:
+        """The run ended; check end-of-run invariants."""
+
+
+class OracleSuite:
+    """Fan-out observer installed on every replica of one experiment."""
+
+    def __init__(self, oracles) -> None:
+        self.oracles = list(oracles)
+        self.violations: list[Violation] = []
+        self.experiment: Optional["RunningExperiment"] = None
+        self._honest: frozenset[int] = frozenset()
+
+    @property
+    def now(self) -> float:
+        return self.experiment.sim.now if self.experiment is not None else 0.0
+
+    @property
+    def honest(self) -> frozenset[int]:
+        return self._honest
+
+    def attach(self, experiment: "RunningExperiment") -> "OracleSuite":
+        """Install this suite as every replica's observer."""
+        self.experiment = experiment
+        self._honest = honest_ids(experiment.config)
+        for replica in experiment.replicas:
+            replica.observer = self
+        for oracle in self.oracles:
+            oracle.bind(self)
+            oracle.on_attach()
+        return self
+
+    def honest_replicas(self) -> list["Replica"]:
+        return [
+            replica for replica in self.experiment.replicas
+            if replica.node_id in self._honest
+        ]
+
+    def record(self, violation: Violation) -> None:
+        self.violations.append(violation)
+
+    # -- replica observer interface ----------------------------------------
+
+    def on_local_commit(
+        self, replica: "Replica", proposal: "Proposal"
+    ) -> None:
+        if replica.node_id not in self._honest:
+            return
+        for oracle in self.oracles:
+            oracle.on_local_commit(replica, proposal)
+
+    def on_microblock_created(
+        self, replica: "Replica", microblock: "MicroBlock"
+    ) -> None:
+        if replica.node_id not in self._honest:
+            return
+        for oracle in self.oracles:
+            oracle.on_microblock_created(replica, microblock)
+
+    def on_block_resolved(self, replica: "Replica", block: "Block") -> None:
+        if replica.node_id not in self._honest:
+            return
+        for oracle in self.oracles:
+            oracle.on_block_resolved(replica, block)
+
+    def finalize(self) -> list[Violation]:
+        for oracle in self.oracles:
+            oracle.finalize()
+        return self.violations
+
+
+class SafetyOracle(Oracle):
+    """Agreement and prefix consistency of honest committed chains.
+
+    Parent-link checks are skipped for proposals with ``parent_id == 0``:
+    PBFT slots do not chain through parents (and may commit out of slot
+    order within the window), so only the height-agreement checks apply
+    there.
+    """
+
+    name = "safety"
+
+    def on_attach(self) -> None:
+        # height -> (block_id, first committing honest replica)
+        self._global: dict[int, tuple[int, int]] = {}
+        self._height_of: dict[int, int] = {}
+        # replica -> height -> block_id
+        self._chains: dict[int, dict[int, int]] = {}
+        self._reported: set[tuple] = set()
+
+    def _report_once(self, key: tuple, kind: str, message: str,
+                     node: Optional[int], **details) -> None:
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.report(kind, message, node=node, **details)
+
+    def on_local_commit(
+        self, replica: "Replica", proposal: "Proposal"
+    ) -> None:
+        node = replica.node_id
+        height = proposal.height
+        block_id = proposal.block_id
+        chain = self._chains.setdefault(node, {})
+
+        prev = chain.get(height)
+        if prev is not None and prev != block_id:
+            self._report_once(
+                ("local-fork", node, height, min(prev, block_id)),
+                "local-fork",
+                f"replica {node} committed conflicting blocks "
+                f"{prev:#x} and {block_id:#x} at height {height}",
+                node, height=height, blocks=[prev, block_id],
+            )
+        chain[height] = block_id
+
+        known = self._height_of.setdefault(block_id, height)
+        if known != height:
+            self._report_once(
+                ("height-mismatch", block_id),
+                "height-mismatch",
+                f"block {block_id:#x} committed at heights "
+                f"{known} and {height}",
+                node, block=block_id, heights=[known, height],
+            )
+
+        first = self._global.get(height)
+        if first is None:
+            self._global[height] = (block_id, node)
+        elif first[0] != block_id:
+            self._report_once(
+                ("fork", height, min(first[0], block_id)),
+                "fork",
+                f"honest replicas {first[1]} and {node} committed "
+                f"conflicting blocks {first[0]:#x} and {block_id:#x} "
+                f"at height {height}",
+                node, height=height, blocks=[first[0], block_id],
+            )
+
+        if proposal.parent_id != GENESIS_ID:
+            parent = chain.get(height - 1)
+            if parent is not None and parent != proposal.parent_id:
+                self._report_once(
+                    ("broken-prefix", node, height),
+                    "broken-prefix",
+                    f"replica {node}'s block at height {height} links to "
+                    f"parent {proposal.parent_id:#x} but the replica "
+                    f"committed {parent:#x} at height {height - 1}",
+                    node, height=height,
+                    parent=proposal.parent_id, committed=parent,
+                )
+
+
+class AvailabilityOracle(Oracle):
+    """Committed microblocks must be held by enough honest stores.
+
+    Armed by default only for the *certifying* mempools whose protocols
+    actually promise this at commit time — Stratus (a PAB proof carries
+    ``q`` storage acks, so at least ``q - byz`` honest replicas hold the
+    body) and Narwhal (a certificate roots in a ``2f + 1`` echo quorum,
+    and honest replicas only echo bodies they stored). The best-effort
+    mempools make no such promise — that *is* the weakness the paper
+    fixes — so checking them would flag the baseline, not a bug. Pass
+    ``strict=True`` to arm the PAB bar (``f + 1 - byz``) anyway, which is
+    how the mutation self-test catches a mempool that skips the proof
+    gate.
+    """
+
+    name = "availability"
+
+    CERTIFYING = ("stratus", "narwhal")
+
+    def __init__(
+        self, strict: bool = False, threshold: Optional[int] = None
+    ) -> None:
+        super().__init__()
+        self._strict = strict
+        self._override = threshold
+
+    def on_attach(self) -> None:
+        self._checked: set[int] = set()
+        protocol = self.config.protocol
+        self._armed = self._strict or protocol.mempool in self.CERTIFYING
+        byz = len(self.config.byzantine_ids)
+        if self._override is not None:
+            self._threshold = self._override
+        elif protocol.mempool == "narwhal":
+            self._threshold = max(1, protocol.consensus_quorum - byz)
+        elif protocol.mempool == "stratus":
+            self._threshold = max(1, protocol.stability_quorum - byz)
+        else:
+            self._threshold = max(1, protocol.f + 1 - byz)
+
+    @staticmethod
+    def _holds(replica: "Replica", mb_id) -> bool:
+        store = getattr(replica.mempool, "store", None)
+        return store is not None and mb_id in store
+
+    def on_local_commit(
+        self, replica: "Replica", proposal: "Proposal"
+    ) -> None:
+        if not self._armed or proposal.block_id in self._checked:
+            return
+        self._checked.add(proposal.block_id)
+        if proposal.payload.embedded:
+            return  # data travelled inside the proposal itself
+        for mb_id in proposal.payload.microblock_ids:
+            holders = [
+                peer.node_id for peer in self.suite.honest_replicas()
+                if self._holds(peer, mb_id)
+            ]
+            if len(holders) < self._threshold:
+                self.report(
+                    "unavailable",
+                    f"microblock {mb_id:#x} committed in block "
+                    f"{proposal.block_id:#x} is held by only "
+                    f"{len(holders)} honest store(s), need "
+                    f"{self._threshold}",
+                    node=replica.node_id,
+                    microblock=mb_id, block=proposal.block_id,
+                    holders=holders, threshold=self._threshold,
+                )
+
+
+class LedgerOracle(Oracle):
+    """SMP integrity: committed content is exactly client content."""
+
+    name = "smp-integrity"
+
+    def on_attach(self) -> None:
+        # mb_id -> (tx_count, origin) at creation
+        self._created: dict[int, tuple[int, int]] = {}
+        # mb_id -> block_id that committed it
+        self._committed: dict[int, int] = {}
+        # (node, mb_id) -> earliest time that node locally committed it
+        self._local_commits: dict[tuple[int, int], float] = {}
+        # Transactions over *unique* committed microblocks — the
+        # execution-level count where a fork-race double commit of the
+        # same microblock applies once (real deployments dedupe there).
+        self._committed_tx = 0
+        self._seen_blocks: set[int] = set()
+        self._resolved_blocks: set[int] = set()
+
+    def on_microblock_created(
+        self, replica: "Replica", microblock: "MicroBlock"
+    ) -> None:
+        record = (microblock.tx_count, microblock.origin)
+        existing = self._created.setdefault(microblock.id, record)
+        if existing != record:
+            self.report(
+                "id-collision",
+                f"microblock id {microblock.id:#x} created twice with "
+                f"different content: {existing} vs {record}",
+                node=replica.node_id, microblock=microblock.id,
+            )
+
+    def on_local_commit(
+        self, replica: "Replica", proposal: "Proposal"
+    ) -> None:
+        now = self.suite.now
+        for mb_id in proposal.payload.microblock_ids:
+            self._local_commits.setdefault((replica.node_id, mb_id), now)
+        if proposal.block_id in self._seen_blocks:
+            return
+        self._seen_blocks.add(proposal.block_id)
+        for mb_id in proposal.payload.microblock_ids:
+            owner = self._committed.get(mb_id)
+            if owner is not None and owner != proposal.block_id:
+                # Only flag *knowing* replays: the proposer had already
+                # committed this microblock locally before building the
+                # block. An honest leader cut off by a partition can
+                # legitimately re-propose ids whose first commit it never
+                # saw — real deployments dedupe those at execution.
+                first = self._local_commits.get((proposal.proposer, mb_id))
+                if first is not None and first < proposal.created_at:
+                    self.report(
+                        "duplicate",
+                        f"microblock {mb_id:#x} committed twice: in blocks "
+                        f"{owner:#x} and {proposal.block_id:#x}, and "
+                        f"proposer {proposal.proposer} had committed it "
+                        f"locally at t={first:.3f} before proposing again "
+                        f"at t={proposal.created_at:.3f}",
+                        node=replica.node_id,
+                        microblock=mb_id,
+                        blocks=[owner, proposal.block_id],
+                        proposer=proposal.proposer,
+                    )
+                continue
+            self._committed[mb_id] = proposal.block_id
+            self._committed_tx += self._created.get(mb_id, (0, 0))[0]
+            if mb_id not in self._created:
+                self.report(
+                    "fabricated",
+                    f"committed microblock {mb_id:#x} (block "
+                    f"{proposal.block_id:#x}) was never produced by any "
+                    f"honest replica",
+                    node=replica.node_id,
+                    microblock=mb_id, block=proposal.block_id,
+                )
+
+    def on_block_resolved(self, replica: "Replica", block: "Block") -> None:
+        if block.block_id in self._resolved_blocks:
+            return
+        self._resolved_blocks.add(block.block_id)
+        for microblock in block.microblocks.values():
+            created = self._created.get(microblock.id)
+            if created is not None and created[0] != microblock.tx_count:
+                self.report(
+                    "mutated",
+                    f"microblock {microblock.id:#x} resolved with "
+                    f"{microblock.tx_count} txs but was created with "
+                    f"{created[0]}",
+                    node=replica.node_id, microblock=microblock.id,
+                )
+
+    def finalize(self) -> None:
+        emitted = self.experiment.generator.emitted_tx_count
+        if self._committed_tx > emitted:
+            self.report(
+                "conservation",
+                f"{self._committed_tx} txs committed (unique microblocks) "
+                f"but clients only submitted {emitted}",
+                committed=self._committed_tx, emitted=emitted,
+            )
+
+
+class LivenessOracle(Oracle):
+    """Commit progress resumes within a bound after faults heal.
+
+    ``bound`` defaults to a multiple of the protocol's view/epoch timers
+    (see :func:`repro.verification.fuzzer.default_liveness_bound`). A
+    fault window is only judged when it healed early enough that a
+    recovery inside the bound was possible before the run ended;
+    never-healed windows are skipped (nothing to recover *from*).
+    """
+
+    name = "liveness"
+
+    def __init__(self, bound: Optional[float] = None) -> None:
+        super().__init__()
+        self._bound = bound
+
+    def on_attach(self) -> None:
+        if self._bound is None:
+            from repro.verification.fuzzer import default_liveness_bound
+
+            self._bound = default_liveness_bound(self.config.protocol)
+
+    def finalize(self) -> None:
+        metrics = self.experiment.metrics
+        now = self.experiment.sim.now
+        if (
+            self.config.rate_tps > 0
+            and now >= self._bound
+            and not metrics.commits
+        ):
+            self.report(
+                "no-progress",
+                f"no block committed in {now:.1f}s of simulated time "
+                f"(liveness bound {self._bound:.1f}s)",
+                bound=self._bound,
+            )
+            return
+        for window in metrics.fault_windows:
+            if math.isinf(window.end) or window.end + self._bound > now:
+                continue
+            recover = metrics.time_to_recover(window)
+            if recover > self._bound:
+                self.report(
+                    "stalled",
+                    f"{window.kind} window healed at {window.end:.2f}s "
+                    f"but the next commit took "
+                    f"{'forever' if math.isinf(recover) else f'{recover:.2f}s'}"
+                    f" (bound {self._bound:.1f}s)",
+                    window=window.kind,
+                    healed_at=window.end,
+                    time_to_recover=recover,
+                    bound=self._bound,
+                )
+
+
+def standard_suite(
+    liveness_bound: Optional[float] = None,
+    strict_availability: bool = False,
+) -> OracleSuite:
+    """The default four-oracle suite the fuzzer and CLI arm."""
+    return OracleSuite([
+        SafetyOracle(),
+        AvailabilityOracle(strict=strict_availability),
+        LedgerOracle(),
+        LivenessOracle(bound=liveness_bound),
+    ])

@@ -1,0 +1,264 @@
+"""Automatic shrinking of failing fuzz scenarios.
+
+Greedy delta-debugging over a scenario's degrees of freedom: drop whole
+fault events (a crash and its restart move as one unit), narrow the
+surviving windows, halve the run duration, reduce the cluster size, and
+thin the workload — accepting each step only while the original oracle
+still fires. The minimized scenario round-trips through a JSON artifact
+(:func:`write_artifact` / :func:`replay_artifact`) so a failure found by
+a nightly fuzz run can be reproduced from the file alone.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.verification.fuzzer import FuzzOutcome, Scenario, run_scenario
+
+ARTIFACT_FORMAT = "repro-fuzz-artifact-v1"
+
+Runner = Callable[[Scenario], FuzzOutcome]
+
+
+@dataclass
+class ShrinkResult:
+    """A minimized failing scenario plus the search's bookkeeping."""
+
+    original: Scenario
+    minimized: Scenario
+    outcome: FuzzOutcome  # the minimized scenario's failing outcome
+    runs: int  # total experiment executions spent shrinking
+
+    @property
+    def removed_events(self) -> int:
+        return len(self.original.fault_spec) - len(self.minimized.fault_spec)
+
+
+def _fails(outcome: FuzzOutcome, targets: set) -> bool:
+    """Does the outcome reproduce a violation from the target oracles?"""
+    return any(v.oracle in targets for v in outcome.violations)
+
+
+def _event_units(spec: list) -> list[list[int]]:
+    """Indices grouped into removable units (a crash owns its restart)."""
+    units: list[list[int]] = []
+    used: set[int] = set()
+    for i, entry in enumerate(spec):
+        if i in used:
+            continue
+        used.add(i)
+        unit = [i]
+        if entry["event"] == "crash":
+            for j in range(i + 1, len(spec)):
+                if (
+                    j not in used
+                    and spec[j]["event"] == "restart"
+                    and spec[j]["node"] == entry["node"]
+                ):
+                    unit.append(j)
+                    used.add(j)
+                    break
+        units.append(unit)
+    return units
+
+
+def _max_node(entry: dict) -> int:
+    nodes = []
+    if "node" in entry:
+        nodes.append(entry["node"])
+    nodes.extend(entry.get("nodes", ()))
+    for group in entry.get("groups", ()):
+        nodes.extend(group)
+    return max(nodes) if nodes else -1
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    runner: Runner = run_scenario,
+    max_runs: int = 60,
+) -> ShrinkResult:
+    """Minimize a failing scenario while the violation reproduces.
+
+    ``runner`` exists so callers (the mutation self-test, the CLI) can
+    inject class overrides or oracle settings; it must be deterministic
+    for the greedy walk to make sense.
+    """
+    baseline = runner(scenario)
+    if baseline.ok:
+        raise ValueError(
+            f"scenario {scenario.label} does not fail; nothing to shrink"
+        )
+    targets = {violation.oracle for violation in baseline.violations}
+    runs = 1
+    current, current_outcome = scenario, baseline
+
+    def attempt(candidate: Scenario) -> Optional[FuzzOutcome]:
+        nonlocal runs
+        if runs >= max_runs:
+            return None
+        runs += 1
+        try:
+            outcome = runner(candidate)
+        except ValueError:
+            return None  # candidate assembled an invalid experiment
+        return outcome if _fails(outcome, targets) else None
+
+    # Pass 1: drop whole fault events, greedily, to a fixpoint.
+    changed = True
+    while changed and runs < max_runs:
+        changed = False
+        spec = current.fault_spec
+        for unit in _event_units(spec):
+            drop = set(unit)
+            pruned = [e for i, e in enumerate(spec) if i not in drop]
+            outcome = attempt(current.replaced(fault_spec=pruned))
+            if outcome is not None:
+                current = current.replaced(fault_spec=pruned)
+                current_outcome = outcome
+                changed = True
+                break  # indices shifted; regroup
+
+    # Pass 2: narrow the surviving windows.
+    changed = True
+    while changed and runs < max_runs:
+        changed = False
+        spec = current.fault_spec
+        for i, entry in enumerate(spec):
+            candidate_spec = None
+            if entry.get("duration", 0.0) > 0.2:
+                shorter = dict(entry)
+                shorter["duration"] = round(entry["duration"] / 2, 3)
+                candidate_spec = spec[:i] + [shorter] + spec[i + 1:]
+            elif entry["event"] == "restart":
+                crash_at = next(
+                    (
+                        e["at"] for e in spec
+                        if e["event"] == "crash"
+                        and e["node"] == entry["node"]
+                        and e["at"] < entry["at"]
+                    ),
+                    None,
+                )
+                if crash_at is not None and entry["at"] - crash_at > 0.2:
+                    earlier = dict(entry)
+                    earlier["at"] = round(
+                        crash_at + (entry["at"] - crash_at) / 2, 3
+                    )
+                    candidate_spec = spec[:i] + [earlier] + spec[i + 1:]
+            if candidate_spec is None:
+                continue
+            outcome = attempt(current.replaced(fault_spec=candidate_spec))
+            if outcome is not None:
+                current = current.replaced(fault_spec=candidate_spec)
+                current_outcome = outcome
+                changed = True
+                break
+
+    # Pass 3: halve the run duration while the failure still fits.
+    while runs < max_runs and current.duration > 1.0:
+        shorter = round(current.duration / 2, 3)
+        last_fault = max(
+            (e["at"] + e.get("duration", 0.0) for e in current.fault_spec),
+            default=0.0,
+        )
+        if current.warmup + shorter <= last_fault + 0.2:
+            break
+        outcome = attempt(current.replaced(duration=shorter))
+        if outcome is None:
+            break
+        current = current.replaced(duration=shorter)
+        current_outcome = outcome
+
+    # Pass 4: shrink the cluster when no event references high replicas.
+    for smaller in (4, 5):
+        if smaller >= current.n or runs >= max_runs:
+            continue
+        if any(_max_node(e) >= smaller for e in current.fault_spec):
+            continue
+        outcome = attempt(current.replaced(n=smaller))
+        if outcome is not None:
+            current = current.replaced(n=smaller)
+            current_outcome = outcome
+            break
+
+    # Pass 5: thin the workload.
+    while runs < max_runs and current.rate_tps > 100.0:
+        thinner = round(current.rate_tps / 2, 1)
+        outcome = attempt(current.replaced(rate_tps=thinner))
+        if outcome is None:
+            break
+        current = current.replaced(rate_tps=thinner)
+        current_outcome = outcome
+
+    return ShrinkResult(
+        original=scenario,
+        minimized=current,
+        outcome=current_outcome,
+        runs=runs,
+    )
+
+
+# -- repro artifacts -------------------------------------------------------
+
+
+def write_artifact(
+    path: str,
+    outcome: FuzzOutcome,
+    original: Optional[Scenario] = None,
+    shrink_runs: Optional[int] = None,
+    mutant: Optional[str] = None,
+) -> dict:
+    """Serialize a failing outcome (optionally shrunk) to a JSON file."""
+    artifact = {
+        "format": ARTIFACT_FORMAT,
+        "scenario": outcome.scenario.to_dict(),
+        "violations": [v.to_dict() for v in outcome.violations],
+        "commit_hash": outcome.commit_hash,
+        "committed_tx": outcome.committed_tx,
+    }
+    if original is not None:
+        artifact["original_scenario"] = original.to_dict()
+    if shrink_runs is not None:
+        artifact["shrink_runs"] = shrink_runs
+    if mutant is not None:
+        artifact["mutant"] = mutant
+    with open(path, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return artifact
+
+
+def load_artifact(path: str) -> dict:
+    with open(path) as handle:
+        artifact = json.load(handle)
+    if artifact.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(
+            f"{path} is not a {ARTIFACT_FORMAT} file "
+            f"(format={artifact.get('format')!r})"
+        )
+    return artifact
+
+
+def replay_artifact(path: str) -> FuzzOutcome:
+    """Re-run the scenario stored in an artifact, oracles armed.
+
+    Artifacts recorded from a mutation self-test name their mutant; the
+    replay re-applies the same broken classes so the violation is
+    reproducible from the file alone.
+    """
+    artifact = load_artifact(path)
+    scenario = Scenario.from_dict(artifact["scenario"])
+    mutant_name = artifact.get("mutant")
+    if mutant_name is not None:
+        from repro.verification.mutations import MUTANTS
+
+        mutant = MUTANTS[mutant_name]
+        return run_scenario(
+            scenario,
+            strict_availability=mutant.strict_availability,
+            mempool_cls=mutant.mempool_cls,
+            consensus_cls=mutant.consensus_cls,
+        )
+    return run_scenario(scenario)

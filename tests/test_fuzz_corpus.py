@@ -1,0 +1,70 @@
+"""Fixed-seed fuzz corpus: tier-1 regression over the protocol grid.
+
+Twenty (root_seed, index) pairs chosen so that every consensus x mempool
+cell runs exactly once with the invariant oracles armed. The pairs come
+from fuzz sweeps that are known green; a failure here is a regression in
+a protocol engine, a mempool, the harness, or the oracles themselves —
+the replay command for any failing entry is::
+
+    python -m repro fuzz --seed <root> --start <index> --iterations 1
+
+The whole corpus is budgeted to stay well under a minute; keep new
+entries short (the fuzzer's duration_range already caps runs at 5s of
+simulated time).
+"""
+
+import time
+
+import pytest
+
+from repro.verification import ScenarioFuzzer, run_scenario
+
+#: (root_seed, scenario_index, consensus, mempool) — the last two are
+#: asserted so a silent change to the derivation (which would quietly
+#: re-point the corpus at different cells) fails loudly.
+CORPUS = [
+    (7, 0, "hotstuff", "native"),
+    (7, 1, "twochain", "gossip"),
+    (7, 6, "streamlet", "narwhal"),
+    (7, 8, "twochain", "stratus"),
+    (7, 11, "pbft", "native"),
+    (7, 12, "hotstuff", "stratus"),
+    (7, 14, "twochain", "simple"),
+    (7, 16, "pbft", "gossip"),
+    (7, 22, "pbft", "simple"),
+    (7, 32, "hotstuff", "gossip"),
+    (7, 34, "hotstuff", "narwhal"),
+    (7, 35, "streamlet", "native"),
+    (7, 42, "pbft", "narwhal"),
+    (7, 45, "streamlet", "stratus"),
+    (42, 3, "twochain", "narwhal"),
+    (42, 4, "pbft", "stratus"),
+    (42, 5, "streamlet", "gossip"),
+    (42, 7, "hotstuff", "simple"),
+    (42, 8, "streamlet", "simple"),
+    (42, 10, "twochain", "native"),
+]
+
+#: Per-scenario wall-clock budget, generous for slow CI machines.
+SCENARIO_BUDGET_S = 30.0
+
+
+def test_corpus_covers_full_grid():
+    cells = {(consensus, mempool) for _, _, consensus, mempool in CORPUS}
+    assert len(cells) == 20  # 4 consensus kinds x 5 mempools
+
+
+@pytest.mark.parametrize(
+    "root,index,consensus,mempool",
+    CORPUS,
+    ids=[f"{c}-{m}-r{r}i{i}" for r, i, c, m in CORPUS],
+)
+def test_corpus_scenario_clean(root, index, consensus, mempool):
+    scenario = ScenarioFuzzer(root).scenario(index)
+    assert (scenario.consensus, scenario.mempool) == (consensus, mempool)
+    started = time.monotonic()
+    outcome = run_scenario(scenario)
+    elapsed = time.monotonic() - started
+    assert outcome.ok, "\n".join(str(v) for v in outcome.violations)
+    assert outcome.committed_tx > 0
+    assert elapsed < SCENARIO_BUDGET_S

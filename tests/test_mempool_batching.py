@@ -13,6 +13,9 @@ class FakeHost:
         self.node_id = node_id
         self.sim = Simulator()
 
+    def notify_microblock(self, microblock):
+        pass
+
 
 def make_batcher(batch_bytes=512, tx_payload=128, batch_timeout=0.05):
     host = FakeHost()

@@ -110,6 +110,9 @@ class _Host:
         self.node_id = 0
         self.sim = Simulator()
 
+    def notify_microblock(self, microblock):
+        pass  # observer tap; no oracle suite in these tests
+
 
 @given(batches)
 @settings(max_examples=50)

@@ -86,6 +86,9 @@ def test_garbage_collect_blocks_reproposal():
         block_id=make_block_id(0, 500), view=9, height=9, proposer=0,
         parent_id=0, justify=GENESIS_QC, payload=payload,
     )
+    # Commit hooks as base.on_commit runs them: mark_committed fires
+    # synchronously at commit time, garbage_collect after resolution.
+    mempool.mark_committed(proposal)
     mempool.garbage_collect(proposal)
     mempool.on_abandoned(proposal)  # even if the fork is later abandoned,
     follow_up = mempool.make_payload()
