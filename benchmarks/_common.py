@@ -6,6 +6,11 @@ echoed to stdout). Network sizes are scaled down by default so the full
 suite finishes in tens of minutes on a laptop; set ``REPRO_BENCH_FULL=1``
 for paper-scale sweeps (much slower). EXPERIMENTS.md records the mapping
 and the paper-vs-measured comparison.
+
+Grid-style figures (5, 6, 8, 10) run their independent cells through
+:func:`run_grid`; set ``REPRO_BENCH_JOBS=<N>`` to fan the cells out
+across worker processes. Cell results — including commit hashes — are
+bit-for-bit identical either way (see ``repro.parallel``).
 """
 
 from __future__ import annotations
@@ -14,10 +19,13 @@ import os
 from pathlib import Path
 
 from repro import ExperimentConfig, run_experiment, tuned_protocol
+from repro.parallel import RunSummary, sweep as parallel_sweep
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
 
 
 def scaled(default: list, full: list) -> list:
@@ -33,7 +41,7 @@ def write_result(name: str, text: str) -> None:
     print(f"\n{text}\n[written to {path}]")
 
 
-def measure_capacity(
+def capacity_config(
     preset: str,
     n: int,
     topology_kind: str,
@@ -43,15 +51,11 @@ def measure_capacity(
     seed: int = 11,
     bandwidth_bps=None,
     **protocol_overrides,
-):
-    """Measure committed throughput under heavy offered load.
-
-    ``offered`` should exceed the protocol's expected capacity; the
-    committed rate then measures the drain rate, i.e. capacity.
-    """
+) -> ExperimentConfig:
+    """Config for a capacity measurement (overload drain rate)."""
     protocol = tuned_protocol(preset, n=n, topology_kind=topology_kind,
                               **protocol_overrides)
-    return run_experiment(ExperimentConfig(
+    return ExperimentConfig(
         protocol=protocol,
         topology_kind=topology_kind,
         bandwidth_bps=bandwidth_bps,
@@ -60,10 +64,10 @@ def measure_capacity(
         warmup=warmup,
         seed=seed,
         label=f"{preset}-n{n}-{topology_kind}",
-    ))
+    )
 
 
-def measure_at_rate(
+def rate_config(
     preset: str,
     n: int,
     topology_kind: str,
@@ -73,11 +77,11 @@ def measure_at_rate(
     seed: int = 11,
     bandwidth_bps=None,
     **protocol_overrides,
-):
-    """Measure throughput and latency at a fixed (sub-capacity) rate."""
+) -> ExperimentConfig:
+    """Config for a fixed-rate (sub-capacity) measurement."""
     protocol = tuned_protocol(preset, n=n, topology_kind=topology_kind,
                               **protocol_overrides)
-    return run_experiment(ExperimentConfig(
+    return ExperimentConfig(
         protocol=protocol,
         topology_kind=topology_kind,
         bandwidth_bps=bandwidth_bps,
@@ -86,7 +90,54 @@ def measure_at_rate(
         warmup=warmup,
         seed=seed,
         label=f"{preset}-n{n}-{topology_kind}-r{rate:.0f}",
-    ))
+    )
+
+
+def measure_capacity(
+    preset: str,
+    n: int,
+    topology_kind: str,
+    offered: float,
+    **kwargs,
+):
+    """Measure committed throughput under heavy offered load.
+
+    ``offered`` should exceed the protocol's expected capacity; the
+    committed rate then measures the drain rate, i.e. capacity.
+    """
+    return run_experiment(
+        capacity_config(preset, n, topology_kind, offered, **kwargs)
+    )
+
+
+def measure_at_rate(
+    preset: str,
+    n: int,
+    topology_kind: str,
+    rate: float,
+    **kwargs,
+):
+    """Measure throughput and latency at a fixed (sub-capacity) rate."""
+    return run_experiment(
+        rate_config(preset, n, topology_kind, rate, **kwargs)
+    )
+
+
+def run_grid(configs: list, jobs=None) -> list:
+    """Run independent grid cells; :class:`RunSummary` list in order.
+
+    ``jobs=None`` defers to ``REPRO_BENCH_JOBS`` (default 1 = serial,
+    in-process). The serial path flattens each result through the same
+    :meth:`RunSummary.from_result` a worker would use, so a figure's
+    numbers do not depend on how it was executed.
+    """
+    if jobs is None:
+        jobs = BENCH_JOBS
+    if jobs > 1:
+        return parallel_sweep(configs, jobs=jobs)
+    return [
+        RunSummary.from_result(run_experiment(config)) for config in configs
+    ]
 
 
 def run_once(benchmark, fn):

@@ -29,6 +29,7 @@ import argparse
 import cProfile
 import hashlib
 import json
+import os
 import platform
 import pstats
 import resource
@@ -157,10 +158,21 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--scenario", nargs="+", default=None,
                         help="run only these scenarios")
     parser.add_argument("--profile", action="store_true",
-                        help="attach per-subsystem cProfile breakdowns")
+                        help="attach per-subsystem cProfile breakdowns "
+                             "(forces --jobs 1)")
     parser.add_argument("--quick", action="store_true",
                         help="halve measurement windows (CI smoke)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run scenarios in N worker processes; per-"
+                             "scenario numbers and commit hashes are "
+                             "identical to --jobs 1")
     args = parser.parse_args(argv)
+
+    jobs = args.jobs
+    if args.profile and jobs > 1:
+        print("[perf] note: --profile forces --jobs 1 (cProfile cannot "
+              "see worker processes)")
+        jobs = 1
 
     scale = 0.5 if args.quick else 1.0
     report: dict = {
@@ -169,19 +181,84 @@ def main(argv: Optional[list] = None) -> int:
         "python": platform.python_version(),
         "platform": platform.platform(),
         "quick": args.quick,
+        "jobs": jobs,
         "scenarios": {},
     }
 
-    for scenario in get_scenarios(args.scenario):
-        print(f"[perf] {scenario.name} ...", flush=True)
-        entry = run_scenario(scenario, scale, args.profile)
-        report["scenarios"][scenario.name] = entry
+    scenarios = get_scenarios(args.scenario)
+    if jobs > 1:
+        from repro.parallel import ParallelExecutor, experiment_job
+
+        executor = ParallelExecutor(jobs=jobs)
+        specs = [
+            experiment_job(scenario.build_config(scale))
+            for scenario in scenarios
+        ]
+        print(f"[perf] {len(specs)} scenario(s) across {jobs} workers ...",
+              flush=True)
+        started = time.perf_counter()
+        results = executor.map(specs)
+        elapsed = time.perf_counter() - started
+        worker_wall_total = 0.0
+        for scenario, job in zip(scenarios, results):
+            if job.error is not None:
+                raise SystemExit(
+                    f"[perf] {scenario.name} failed after "
+                    f"{job.attempts} attempt(s): {job.error}"
+                )
+            summary = job.summary
+            worker_wall_total += job.value["worker_wall_s"]
+            entry = {
+                "events": summary.events_processed,
+                "wall_s": round(summary.wall_clock_s, 4),
+                "events_per_sec": round(summary.events_per_sec, 1),
+                "sim_seconds": scenario.build_config(scale).end_time,
+                "committed_tx": summary.committed_tx,
+                "throughput_tps": round(summary.throughput_tps, 1),
+                "commit_hash": summary.commit_hash,
+                "peak_rss_bytes": summary.peak_rss_bytes,
+            }
+            report["scenarios"][scenario.name] = entry
+            print(
+                f"[perf]   {scenario.name}: {entry['events']} events in "
+                f"{entry['wall_s']:.2f}s -> "
+                f"{entry['events_per_sec']:,.0f} events/s, "
+                f"commit_hash={entry['commit_hash'][:12]}",
+                flush=True,
+            )
+        report["parallel"] = {
+            "jobs": jobs,
+            "host_cpus": os.cpu_count(),
+            "elapsed_wall_s": round(elapsed, 4),
+            "worker_wall_total_s": round(worker_wall_total, 4),
+            # How much wall-clock the fan-out saved vs running the same
+            # worker jobs back to back (the serial lower bound).
+            "speedup_vs_serial": round(worker_wall_total / elapsed, 3)
+            if elapsed > 0 else 0.0,
+            "peak_rss_max_bytes": max(
+                entry["peak_rss_bytes"]
+                for entry in report["scenarios"].values()
+            ),
+        }
         print(
-            f"[perf]   {entry['events']} events in {entry['wall_s']:.2f}s "
-            f"-> {entry['events_per_sec']:,.0f} events/s, "
-            f"commit_hash={entry['commit_hash'][:12]}",
+            f"[perf] parallel: {worker_wall_total:.2f}s of work in "
+            f"{elapsed:.2f}s wall "
+            f"({report['parallel']['speedup_vs_serial']:.2f}x, "
+            f"{jobs} workers)",
             flush=True,
         )
+    else:
+        for scenario in scenarios:
+            print(f"[perf] {scenario.name} ...", flush=True)
+            entry = run_scenario(scenario, scale, args.profile)
+            report["scenarios"][scenario.name] = entry
+            print(
+                f"[perf]   {entry['events']} events in "
+                f"{entry['wall_s']:.2f}s "
+                f"-> {entry['events_per_sec']:,.0f} events/s, "
+                f"commit_hash={entry['commit_hash'][:12]}",
+                flush=True,
+            )
 
     if args.baseline is not None and args.baseline.exists():
         baseline = json.loads(args.baseline.read_text())

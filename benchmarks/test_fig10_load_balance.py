@@ -17,10 +17,10 @@ REPRO_BENCH_FULL=1 uses n = 32.
 
 import pytest
 
-from repro import ExperimentConfig, run_experiment, tuned_protocol
+from repro import ExperimentConfig, tuned_protocol
 from repro.harness.report import format_table
 
-from _common import run_once, scaled, write_result
+from _common import run_grid, run_once, scaled, write_result
 
 N = scaled(default=[16], full=[32])[0]
 RATE = scaled(default=[30_000.0], full=[60_000.0])[0]
@@ -34,32 +34,39 @@ VARIANTS = (
 )
 
 
-def run(preset: str, d: int, selector: str):
+def cell_config(preset: str, d: int, selector: str):
     protocol = tuned_protocol(
         preset, n=N, topology_kind="wan",
         batch_bytes=16 * 1024, batch_timeout=0.1, lb_samples=d,
     )
-    return run_experiment(ExperimentConfig(
+    return ExperimentConfig(
         protocol=protocol, topology_kind="wan", rate_tps=RATE,
         duration=6.0, warmup=3.0, seed=7, selector=selector,
         label=f"{preset}-d{d}-{selector}",
-    ))
+    )
 
 
 def sweep() -> tuple[str, dict]:
+    cells = [
+        (selector, label, preset, d)
+        for selector in ("zipf1", "zipf10")
+        for label, preset, d in VARIANTS
+    ]
+    configs = [
+        cell_config(preset, d, selector)
+        for selector, label, preset, d in cells
+    ]
     rows = []
     data: dict = {}
-    for selector in ("zipf1", "zipf10"):
-        for label, preset, d in VARIANTS:
-            result = run(preset, d, selector)
-            data[(selector, label)] = result
-            rows.append([
-                selector, label,
-                f"{result.throughput_tps:,.0f}",
-                f"{result.latency_mean * 1000:.0f}",
-                result.metrics.forwarded_microblocks,
-                result.view_changes,
-            ])
+    for (selector, label, _, _), result in zip(cells, run_grid(configs)):
+        data[(selector, label)] = result
+        rows.append([
+            selector, label,
+            f"{result.throughput_tps:,.0f}",
+            f"{result.latency_mean * 1000:.0f}",
+            result.forwarded_microblocks,
+            result.view_changes,
+        ])
     table = format_table(
         ["workload", "protocol", "tput (tx/s)", "lat (ms)", "forwards",
          "view chg"],
@@ -82,7 +89,7 @@ def test_fig10_load_balance(benchmark):
         smp = data[(selector, "SMP-HS")].throughput_tps
         assert best_stratus > smp, selector
     # Under high skew, DLB actually forwards.
-    assert data[("zipf1", "S-HS-d3")].metrics.forwarded_microblocks > 0
+    assert data[("zipf1", "S-HS-d3")].forwarded_microblocks > 0
     # Stratus latency beats gossip's under high skew (redundancy cost).
     assert (data[("zipf1", "S-HS-d3")].latency_mean
             < data[("zipf1", "SMP-HS-G")].latency_mean)

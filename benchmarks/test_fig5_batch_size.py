@@ -14,7 +14,7 @@ import pytest
 
 from repro.harness.report import format_table
 
-from _common import measure_at_rate, run_once, scaled, write_result
+from _common import rate_config, run_grid, run_once, scaled, write_result
 
 SWEEP = scaled(
     default=[
@@ -34,28 +34,30 @@ BASE_RATE = 250_000.0  # brackets S-HS capacity at these scales
 
 
 def sweep() -> tuple[str, dict]:
-    rows = []
-    curves: dict = {}
+    cells = []
+    configs = []
     for n, batch_sizes in SWEEP:
         for batch in batch_sizes:
-            points = []
             for factor in LOAD_FACTORS:
                 rate = BASE_RATE * factor
-                result = measure_at_rate(
+                cells.append((n, batch, rate))
+                configs.append(rate_config(
                     "S-HS", n, "lan", rate,
                     duration=2.0, warmup=1.5,
                     batch_bytes=batch, batch_timeout=1.0,
-                )
-                points.append(
-                    (result.throughput_tps, result.latency_mean)
-                )
-                rows.append([
-                    f"n{n}-b{batch // 1024}K",
-                    f"{rate:,.0f}",
-                    f"{result.throughput_tps:,.0f}",
-                    f"{result.latency_mean * 1000:.1f}",
-                ])
-            curves[(n, batch)] = points
+                ))
+    rows = []
+    curves: dict = {}
+    for (n, batch, rate), result in zip(cells, run_grid(configs)):
+        curves.setdefault((n, batch), []).append(
+            (result.throughput_tps, result.latency_mean)
+        )
+        rows.append([
+            f"n{n}-b{batch // 1024}K",
+            f"{rate:,.0f}",
+            f"{result.throughput_tps:,.0f}",
+            f"{result.latency_mean * 1000:.1f}",
+        ])
     table = format_table(
         ["config", "offered (tx/s)", "throughput (tx/s)", "latency (ms)"],
         rows,

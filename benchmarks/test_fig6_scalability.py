@@ -23,8 +23,9 @@ from repro.harness.report import format_table
 
 from _common import (
     FULL,
-    measure_at_rate,
-    measure_capacity,
+    capacity_config,
+    rate_config,
+    run_grid,
     run_once,
     scaled,
     write_result,
@@ -43,26 +44,41 @@ def _sizes_for(preset: str) -> list:
 
 
 def sweep(topology: str) -> tuple[str, dict]:
-    rows = []
-    capacities: dict = {}
-    for preset in PROTOCOLS:
-        for n in _sizes_for(preset):
-            cap_run = measure_capacity(
-                preset, n, topology, offered=OVERLOAD[topology],
-                duration=2.0, warmup=1.5,
-            )
-            capacity = cap_run.throughput_tps
-            capacities[(preset, n)] = capacity
-            lat_run = measure_at_rate(
-                preset, n, topology, rate=max(500.0, 0.7 * capacity),
-                duration=2.0, warmup=1.5,
-            )
-            rows.append([
-                preset, n,
-                f"{capacity:,.0f}",
-                f"{lat_run.latency_mean * 1000:.0f}",
-                f"{lat_run.latency_percentile(99) * 1000:.0f}",
-            ])
+    # Two grid phases: every capacity cell is independent, so they all
+    # run (possibly in parallel) first; the latency cells depend on the
+    # measured capacities and form a second grid.
+    cells = [
+        (preset, n)
+        for preset in PROTOCOLS
+        for n in _sizes_for(preset)
+    ]
+    cap_runs = run_grid([
+        capacity_config(
+            preset, n, topology, offered=OVERLOAD[topology],
+            duration=2.0, warmup=1.5,
+        )
+        for preset, n in cells
+    ])
+    capacities = {
+        cell: cap_run.throughput_tps
+        for cell, cap_run in zip(cells, cap_runs)
+    }
+    lat_runs = run_grid([
+        rate_config(
+            preset, n, topology, rate=max(500.0, 0.7 * capacities[(preset, n)]),
+            duration=2.0, warmup=1.5,
+        )
+        for preset, n in cells
+    ])
+    rows = [
+        [
+            preset, n,
+            f"{capacities[(preset, n)]:,.0f}",
+            f"{lat_run.latency_mean * 1000:.0f}",
+            f"{lat_run.latency_percentile(99) * 1000:.0f}",
+        ]
+        for (preset, n), lat_run in zip(cells, lat_runs)
+    ]
     table = format_table(
         ["protocol", "n", "capacity (tx/s)", "lat@70% (ms)", "p99 (ms)"],
         rows,

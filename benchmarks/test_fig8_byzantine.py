@@ -19,17 +19,17 @@ is the regime the paper measures. REPRO_BENCH_FULL=1 runs n = 100/200.
 
 import pytest
 
-from repro import ExperimentConfig, run_experiment, tuned_protocol
+from repro import ExperimentConfig, tuned_protocol
 from repro.harness.report import format_table
 
-from _common import run_once, scaled, write_result
+from _common import run_grid, run_once, scaled, write_result
 
 SIZES = scaled(default=[31, 61], full=[100, 200])
 BYZ_FRACTIONS = (0.0, 0.1, 0.2, 0.3)
 RATE = 60_000.0
 
 
-def run(preset: str, n: int, byz: int, quorum: str):
+def cell_config(preset: str, n: int, byz: int, quorum: str):
     f = (n - 1) // 3
     pab_quorum = {"f": f + 1, "2f": 2 * f + 1}.get(quorum)
     protocol = tuned_protocol(
@@ -37,12 +37,12 @@ def run(preset: str, n: int, byz: int, quorum: str):
         batch_bytes=64 * 1024, batch_timeout=0.6,
         **({"pab_quorum": pab_quorum} if pab_quorum else {}),
     )
-    return run_experiment(ExperimentConfig(
+    return ExperimentConfig(
         protocol=protocol, topology_kind="lan",
         rate_tps=RATE, duration=4.0, warmup=1.5, seed=5,
         fault="censor" if byz else "none", fault_count=byz,
         label=f"{preset}-{quorum}-n{n}-byz{byz}",
-    ))
+    )
 
 
 VARIANTS = (
@@ -53,24 +53,28 @@ VARIANTS = (
 
 
 def sweep() -> tuple[str, dict]:
-    rows = []
-    data: dict = {}
+    cells = []
+    configs = []
     for n in SIZES:
         f = (n - 1) // 3
         for label, preset, quorum in VARIANTS:
             for fraction in BYZ_FRACTIONS:
                 byz = min(int(fraction * n), f)
-                result = run(preset, n, byz, quorum)
-                goodput = result.committed_tx / max(result.emitted_tx, 1)
-                data[(n, label, fraction)] = result
-                rows.append([
-                    n, label, byz,
-                    f"{result.throughput_tps:,.0f}",
-                    f"{goodput * 100:.0f}%",
-                    f"{result.latency_mean * 1000:.0f}",
-                    result.view_changes,
-                    result.metrics.fetch_count,
-                ])
+                cells.append((n, label, fraction, byz))
+                configs.append(cell_config(preset, n, byz, quorum))
+    rows = []
+    data: dict = {}
+    for (n, label, fraction, byz), result in zip(cells, run_grid(configs)):
+        goodput = result.committed_tx / max(result.emitted_tx, 1)
+        data[(n, label, fraction)] = result
+        rows.append([
+            n, label, byz,
+            f"{result.throughput_tps:,.0f}",
+            f"{goodput * 100:.0f}%",
+            f"{result.latency_mean * 1000:.0f}",
+            result.view_changes,
+            result.fetch_count,
+        ])
     table = format_table(
         ["n", "protocol", "byz", "tput (tx/s)", "goodput", "lat (ms)",
          "view chg", "fetches"],
@@ -99,6 +103,6 @@ def test_fig8_byzantine(benchmark):
         assert shs_goodput > 0.9
         assert smp_goodput < shs_goodput
         # Larger quorum -> fewer replicas missing the body -> fewer fetches.
-        fetch_f = data[(n, "S-HS-f", 0.3)].metrics.fetch_count
-        fetch_2f = data[(n, "S-HS-2f", 0.3)].metrics.fetch_count
+        fetch_f = data[(n, "S-HS-f", 0.3)].fetch_count
+        fetch_2f = data[(n, "S-HS-2f", 0.3)].fetch_count
         assert fetch_2f < fetch_f

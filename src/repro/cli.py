@@ -93,9 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--timeline", action="store_true",
                         help="print a per-second throughput timeline")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run independent (preset, n) sweep cells in N "
+                             "worker processes; results (and hashes) are "
+                             "identical to --jobs 1")
     parser.add_argument("--profile", action="store_true",
                         help="run under cProfile and print the hottest "
-                             "functions after the results table")
+                             "functions after the results table "
+                             "(forces --jobs 1)")
     parser.add_argument("--profile-top", type=int, default=20,
                         metavar="N",
                         help="with --profile, how many functions to show")
@@ -122,6 +127,9 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
                              "(created if missing)")
     parser.add_argument("--stop-on-failure", action="store_true",
                         help="stop the sweep at the first violation")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run scenarios in N worker processes; outcome "
+                             "order and hashes are identical to --jobs 1")
     return parser
 
 
@@ -138,6 +146,11 @@ def run_fuzz(argv: Sequence[str]) -> int:
         out_dir = Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
     fuzzer = ScenarioFuzzer(args.seed)
+    executor = None
+    if args.jobs > 1:
+        from repro.parallel import ParallelExecutor
+
+        executor = ParallelExecutor(jobs=args.jobs)
     failures = []
 
     def report(outcome) -> None:
@@ -156,6 +169,7 @@ def run_fuzz(argv: Sequence[str]) -> int:
     outcomes = fuzzer.run(
         args.iterations, start=args.start,
         stop_on_failure=args.stop_on_failure, on_outcome=report,
+        executor=executor,
     )
     for outcome in outcomes:
         if outcome.ok:
@@ -164,7 +178,7 @@ def run_fuzz(argv: Sequence[str]) -> int:
         original = outcome.scenario
         shrink_runs = None
         if args.shrink:
-            result = shrink_scenario(original)
+            result = shrink_scenario(original, executor=executor)
             outcome = result.outcome
             shrink_runs = result.runs
             print(f"  shrunk {original.label}: "
@@ -266,19 +280,21 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
                 "@file, or an inline JSON schedule"
             ) from exc
 
-    profiler: Optional[cProfile.Profile] = None
-    if args.profile:
-        profiler = cProfile.Profile()
-        profiler.enable()
-    rows = []
-    timelines = []
-    fault_reports = []
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    jobs = args.jobs
+    if args.profile and jobs > 1:
+        print("note: --profile forces --jobs 1 (cProfile cannot see "
+              "worker processes)")
+        jobs = 1
+
+    cells = []  # (preset, n, ExperimentConfig)
     for preset in args.preset:
         for n in args.n:
             protocol = tuned_protocol(
                 preset, n=n, topology_kind=args.topology, **overrides
             )
-            result = run_experiment(ExperimentConfig(
+            cells.append((preset, n, ExperimentConfig(
                 protocol=protocol,
                 topology_kind=args.topology,
                 bandwidth_bps=args.bandwidth,
@@ -292,25 +308,49 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
                 fluctuation=fluctuation,
                 faults=resolve_faults(n),
                 label=f"{preset}-n{n}",
-            ))
-            if args.faults is not None:
-                fault_reports.append(
-                    (result.label, result.metrics.fault_report())
-                )
-            rows.append([
-                preset, n,
-                f"{result.throughput_tps:,.0f}",
-                f"{result.latency_mean * 1000:.1f}",
-                f"{result.latency_percentile(99) * 1000:.1f}",
-                result.view_changes,
-                f"{result.committed_tx:,}",
-            ])
-            if args.timeline:
-                end = args.warmup + args.duration
-                series = result.metrics.throughput_series(0.0, end, 1.0)
-                timelines.append((result.label, series))
-    if profiler is not None:
-        profiler.disable()
+            )))
+
+    timeline_bucket = 1.0 if args.timeline else None
+    profiler: Optional[cProfile.Profile] = None
+    if jobs > 1:
+        from repro.parallel import sweep
+
+        summaries = sweep(
+            [config for _, _, config in cells],
+            jobs=jobs,
+            timeline_bucket=timeline_bucket,
+        )
+    else:
+        from repro.parallel import RunSummary
+
+        if args.profile:
+            profiler = cProfile.Profile()
+            profiler.enable()
+        summaries = [
+            RunSummary.from_result(
+                run_experiment(config), timeline_bucket=timeline_bucket,
+            )
+            for _, _, config in cells
+        ]
+        if profiler is not None:
+            profiler.disable()
+
+    rows = []
+    timelines = []
+    fault_reports = []
+    for (preset, n, _), summary in zip(cells, summaries):
+        if summary.fault_report is not None:
+            fault_reports.append((summary.label, summary.fault_report))
+        rows.append([
+            preset, n,
+            f"{summary.throughput_tps:,.0f}",
+            f"{summary.latency_mean * 1000:.1f}",
+            f"{summary.latency_percentile(99) * 1000:.1f}",
+            summary.view_changes,
+            f"{summary.committed_tx:,}",
+        ])
+        if summary.timeline is not None:
+            timelines.append((summary.label, summary.timeline))
     print(format_table(
         ["protocol", "n", "tput (tx/s)", "lat mean (ms)", "lat p99 (ms)",
          "view chg", "committed"],

@@ -9,6 +9,7 @@ Topology- and workload-level settings live in
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -165,3 +166,19 @@ class ProtocolConfig:
     def with_updates(self, **changes) -> "ProtocolConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-able form; round-trips through :meth:`from_dict`.
+
+        Used by ``repro.parallel`` to ship configurations into spawned
+        worker processes without pickling live objects.
+        """
+        data = dataclasses.asdict(self)
+        data["byzantine"] = sorted(self.byzantine)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProtocolConfig":
+        data = dict(data)
+        data["byzantine"] = frozenset(data.get("byzantine", ()))
+        return cls(**data)

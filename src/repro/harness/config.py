@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -75,3 +76,62 @@ class ExperimentConfig:
         """Faulty replicas take the highest ids (never in the leader set)."""
         n = self.protocol.n
         return frozenset(range(n - self.fault_count, n))
+
+    def to_dict(self) -> dict:
+        """JSON-able form; round-trips through :meth:`from_dict`.
+
+        This is the spawn-safe wire format ``repro.parallel`` uses to
+        hand a job to a worker process: every nested object (protocol,
+        fault schedule, fluctuation window) flattens to plain dicts and
+        lists. ``extra`` must itself hold JSON-able values.
+        """
+        return {
+            "protocol": self.protocol.to_dict(),
+            "topology_kind": self.topology_kind,
+            "bandwidth_bps": self.bandwidth_bps,
+            "bandwidth_map": (
+                {str(node): bw for node, bw in self.bandwidth_map.items()}
+                if self.bandwidth_map is not None else None
+            ),
+            "rate_tps": self.rate_tps,
+            "duration": self.duration,
+            "warmup": self.warmup,
+            "seed": self.seed,
+            "selector": self.selector,
+            "fault": self.fault,
+            "fault_count": self.fault_count,
+            "tick": self.tick,
+            "attach_executor": self.attach_executor,
+            "priority_channels": self.priority_channels,
+            "fluctuation": (
+                dataclasses.asdict(self.fluctuation)
+                if self.fluctuation is not None else None
+            ),
+            "faults": (
+                self.faults.to_spec() if self.faults is not None else None
+            ),
+            "data_limiter": (
+                list(self.data_limiter)
+                if self.data_limiter is not None else None
+            ),
+            "label": self.label,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentConfig":
+        from repro.config import ProtocolConfig
+
+        data = dict(data)
+        data["protocol"] = ProtocolConfig.from_dict(data["protocol"])
+        if data.get("bandwidth_map") is not None:
+            data["bandwidth_map"] = {
+                int(node): bw for node, bw in data["bandwidth_map"].items()
+            }
+        if data.get("fluctuation") is not None:
+            data["fluctuation"] = FluctuationWindow(**data["fluctuation"])
+        if data.get("faults") is not None:
+            data["faults"] = FaultSchedule.from_spec(data["faults"])
+        if data.get("data_limiter") is not None:
+            data["data_limiter"] = tuple(data["data_limiter"])
+        return cls(**data)

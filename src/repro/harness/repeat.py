@@ -2,7 +2,11 @@
 
 The paper reports each data point "as an average over 3 runs" (Fig. 7
 uses 10). ``run_replicated`` re-runs an :class:`ExperimentConfig` with a
-sequence of seeds and aggregates throughput/latency statistics.
+sequence of seeds and aggregates throughput/latency statistics. With
+``jobs > 1`` the seed replicas fan out across worker processes (see
+:mod:`repro.parallel`); the aggregate is bit-for-bit the serial one
+because each replica is a deterministic function of its config and the
+results are collected in seed order.
 """
 
 from __future__ import annotations
@@ -10,7 +14,7 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.harness.config import ExperimentConfig
 from repro.harness.runner import ExperimentResult, run_experiment
@@ -18,9 +22,14 @@ from repro.harness.runner import ExperimentResult, run_experiment
 
 @dataclass
 class ReplicatedResult:
-    """Mean and spread over seed-replicated runs."""
+    """Mean and spread over seed-replicated runs.
 
-    runs: list[ExperimentResult]
+    ``runs`` holds either full :class:`ExperimentResult` objects (serial
+    path) or compact :class:`~repro.parallel.jobs.RunSummary` objects
+    (parallel path); both expose the attribute slice aggregated here.
+    """
+
+    runs: list
 
     @property
     def throughput_mean(self) -> float:
@@ -42,20 +51,46 @@ class ReplicatedResult:
     def view_changes_mean(self) -> float:
         return _mean([float(run.view_changes) for run in self.runs])
 
+    @property
+    def events_per_sec_mean(self) -> float:
+        """Simulator event-loop rate averaged over the replicas."""
+        return _mean([run.events_per_sec for run in self.runs])
+
+    @property
+    def commit_hashes(self) -> list[str]:
+        """Per-run commit-sequence hashes, in seed order.
+
+        The determinism fingerprint of the whole replicated point: two
+        runs of the same config+seeds — serial or parallel — must agree
+        on every entry.
+        """
+        return [run.commit_hash for run in self.runs]
+
     def __len__(self) -> int:
         return len(self.runs)
 
 
 def run_replicated(
-    config: ExperimentConfig, seeds: Sequence[int]
+    config: ExperimentConfig,
+    seeds: Sequence[int],
+    jobs: int = 1,
+    executor: Optional[object] = None,
 ) -> ReplicatedResult:
-    """Run ``config`` once per seed and aggregate."""
+    """Run ``config`` once per seed and aggregate.
+
+    ``jobs > 1`` (or an explicit ``executor``) runs the replicas in
+    worker processes; results are still aggregated in seed order.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
-    runs = [
-        run_experiment(dataclasses.replace(config, seed=seed))
-        for seed in seeds
-    ]
+    configs = [dataclasses.replace(config, seed=seed) for seed in seeds]
+    if executor is not None or jobs > 1:
+        from repro.parallel import sweep
+
+        return ReplicatedResult(
+            runs=sweep(configs, jobs=jobs, executor=executor)
+        )
+    runs: list[ExperimentResult] = [run_experiment(c) for c in configs]
     return ReplicatedResult(runs=runs)
 
 

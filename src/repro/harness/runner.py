@@ -86,6 +86,18 @@ class ExperimentResult:
         return self.events_processed / self.wall_clock_s
 
     @property
+    def commit_hash(self) -> str:
+        """Determinism fingerprint over the committed sequence.
+
+        Same format as the perf harness's hash (block id, commit time,
+        tx count, microblock count), so a result can be compared against
+        BENCH_perf baselines and against a parallel worker's summary.
+        """
+        from repro.metrics import commit_sequence_hash
+
+        return commit_sequence_hash(self.metrics.commits)
+
+    @property
     def latency_mean(self) -> float:
         return self.latency.mean
 

@@ -14,6 +14,7 @@ O(log n), and min/max are tracked incrementally at add time.
 
 from __future__ import annotations
 
+import hashlib
 from bisect import bisect_left
 from itertools import accumulate
 from typing import Iterable
@@ -104,3 +105,37 @@ class WeightedDigest:
     @property
     def min(self) -> float:
         return self._min
+
+
+def commit_sequence_hash(
+    commits: Iterable,
+    *,
+    include_microblocks: bool = True,
+    length: int = 0,
+) -> str:
+    """Digest of a run's committed sequence — the determinism fingerprint.
+
+    Two runs of the same configuration must produce identical hashes;
+    any divergence means nondeterminism leaked into the simulation. The
+    parallel executor gates every fan-out path on this: a worker
+    process's hash must equal the serial run's.
+
+    ``include_microblocks`` selects between the two historical formats
+    (the perf harness hashes the per-block microblock count too; the
+    fuzzer does not). ``length`` truncates the hex digest (0 = full).
+    """
+    digest = hashlib.sha256()
+    for record in commits:
+        if include_microblocks:
+            piece = (
+                f"{record.block_id}:{record.commit_time:.9f}:"
+                f"{record.tx_count}:{record.microblock_count};"
+            )
+        else:
+            piece = (
+                f"{record.block_id}:{record.commit_time:.9f}:"
+                f"{record.tx_count};"
+            )
+        digest.update(piece.encode())
+    hexdigest = digest.hexdigest()
+    return hexdigest[:length] if length else hexdigest

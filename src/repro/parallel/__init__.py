@@ -1,0 +1,45 @@
+"""Parallel experiment execution: process-pool fan-out with determinism.
+
+Every figure sweep, seed-replicated point, fuzz iteration, and shrink
+candidate in this repo is an independent deterministic simulation; this
+package runs those sets across cores while keeping results bit-for-bit
+equal to a serial run. See DESIGN.md ("Parallel execution") for the
+spawn-vs-fork rationale and the ordering guarantee.
+
+Quickstart::
+
+    from repro.parallel import sweep
+
+    summaries = sweep(configs, jobs=4)       # order == configs order
+    hashes = [s.commit_hash for s in summaries]
+"""
+
+from repro.parallel.executor import (
+    JobResult,
+    ParallelExecutor,
+    default_jobs,
+    sweep,
+)
+from repro.parallel.jobs import (
+    JOB_KINDS,
+    JobSpec,
+    RunSummary,
+    execute_job,
+    experiment_job,
+    scenario_job,
+    worker_peak_rss_bytes,
+)
+
+__all__ = [
+    "JOB_KINDS",
+    "JobResult",
+    "JobSpec",
+    "ParallelExecutor",
+    "RunSummary",
+    "default_jobs",
+    "execute_job",
+    "experiment_job",
+    "scenario_job",
+    "sweep",
+    "worker_peak_rss_bytes",
+]

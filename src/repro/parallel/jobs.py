@@ -1,0 +1,338 @@
+"""Spawn-safe job specifications and compact run summaries.
+
+A :class:`JobSpec` is the unit of work the :class:`~repro.parallel.
+executor.ParallelExecutor` ships to a worker process. It deliberately
+contains nothing but plain data — the existing JSON round-trips do the
+heavy lifting (:meth:`repro.harness.config.ExperimentConfig.to_dict` for
+harness jobs, :meth:`repro.verification.fuzzer.Scenario.to_dict` for
+fuzz jobs) — so a spec survives the ``spawn`` start method, where the
+child interpreter re-imports this module from scratch and receives the
+spec by pickling plain dicts, never live simulator objects.
+
+The worker's answer crosses the boundary the same way: a
+:class:`RunSummary` flattens the interesting slice of an
+:class:`~repro.harness.runner.ExperimentResult` (throughput, latency
+percentiles, commit-sequence hash, counters, optional fault report and
+timeline) into primitives. The full ``MetricsHub``/``Network`` object
+graph stays in the worker and dies with it.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import resource
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import ExperimentResult, run_experiment
+
+#: Latency percentiles every summary carries. Benchmarks and the CLI
+#: only ever render p50/p95/p99; carrying the values (rather than the
+#: digest) keeps the summary a few hundred bytes.
+SUMMARY_PERCENTILES = (50, 95, 99)
+
+
+def worker_peak_rss_bytes() -> int:
+    """This process's peak RSS; ru_maxrss is KiB on Linux, bytes on macOS."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if platform.system() == "Darwin":  # pragma: no cover
+        return int(peak)
+    return int(peak) * 1024
+
+
+@dataclass
+class RunSummary:
+    """Compact, process-boundary-safe summary of one experiment run.
+
+    Attribute names mirror :class:`~repro.harness.runner.
+    ExperimentResult` (``throughput_tps``, ``latency_mean``,
+    ``view_changes``, ``events_per_sec``, ``commit_hash``...) so
+    aggregation code — :class:`repro.harness.repeat.ReplicatedResult`,
+    the CLI's results table, the benchmark grids — works identically on
+    either type.
+    """
+
+    label: str
+    seed: int
+    throughput_tps: float
+    latency_mean: float
+    latency_percentiles: dict
+    committed_tx: int
+    emitted_tx: int
+    view_changes: int
+    events_processed: int
+    wall_clock_s: float
+    commit_hash: str
+    violations: list = field(default_factory=list)
+    fetch_count: int = 0
+    forwarded_microblocks: int = 0
+    peak_rss_bytes: int = 0
+    fault_report: Optional[list] = None
+    timeline: Optional[list] = None
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.wall_clock_s <= 0:
+            return 0.0
+        return self.events_processed / self.wall_clock_s
+
+    def latency_percentile(self, p: float) -> float:
+        """Latency percentile, limited to :data:`SUMMARY_PERCENTILES`."""
+        key = int(p)
+        if key not in self.latency_percentiles:
+            raise ValueError(
+                f"summary only carries percentiles "
+                f"{sorted(self.latency_percentiles)}, asked for {p}"
+            )
+        return self.latency_percentiles[key]
+
+    @classmethod
+    def from_result(
+        cls,
+        result: ExperimentResult,
+        timeline_bucket: Optional[float] = None,
+    ) -> "RunSummary":
+        """Flatten a full result; the one place the conversion lives.
+
+        The serial (``jobs=1``) paths run this in-process on the same
+        :class:`ExperimentResult` a worker would have produced, so serial
+        and parallel sweeps render from identical summaries.
+        """
+        metrics = result.metrics
+        timeline = None
+        if timeline_bucket is not None:
+            timeline = [
+                (t, tps) for t, tps in metrics.throughput_series(
+                    0.0, result.config.end_time, timeline_bucket,
+                )
+            ]
+        fault_report = None
+        if result.config.faults is not None:
+            fault_report = metrics.fault_report()
+        return cls(
+            label=result.label,
+            seed=result.config.seed,
+            throughput_tps=result.throughput_tps,
+            latency_mean=result.latency_mean,
+            latency_percentiles={
+                p: result.latency_percentile(p) for p in SUMMARY_PERCENTILES
+            },
+            committed_tx=result.committed_tx,
+            emitted_tx=result.emitted_tx,
+            view_changes=result.view_changes,
+            events_processed=result.events_processed,
+            wall_clock_s=result.wall_clock_s,
+            commit_hash=result.commit_hash,
+            violations=[v.to_dict() for v in result.violations],
+            fetch_count=metrics.fetch_count,
+            forwarded_microblocks=metrics.forwarded_microblocks,
+            peak_rss_bytes=worker_peak_rss_bytes(),
+            fault_report=fault_report,
+            timeline=timeline,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "seed": self.seed,
+            "throughput_tps": self.throughput_tps,
+            "latency_mean": self.latency_mean,
+            "latency_percentiles": dict(self.latency_percentiles),
+            "committed_tx": self.committed_tx,
+            "emitted_tx": self.emitted_tx,
+            "view_changes": self.view_changes,
+            "events_processed": self.events_processed,
+            "wall_clock_s": self.wall_clock_s,
+            "commit_hash": self.commit_hash,
+            "violations": list(self.violations),
+            "fetch_count": self.fetch_count,
+            "forwarded_microblocks": self.forwarded_microblocks,
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "fault_report": self.fault_report,
+            "timeline": self.timeline,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSummary":
+        data = dict(data)
+        data["latency_percentiles"] = {
+            int(p): value
+            for p, value in data["latency_percentiles"].items()
+        }
+        if data.get("timeline") is not None:
+            data["timeline"] = [tuple(point) for point in data["timeline"]]
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of parallel work: a kind tag plus plain-data payload.
+
+    ``kind`` selects the executor function from :data:`JOB_KINDS`;
+    ``payload`` is that kind's serialized input and ``options`` its
+    keyword knobs. Everything must be picklable plain data.
+    """
+
+    kind: str
+    payload: dict
+    options: dict = field(default_factory=dict)
+    label: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "payload": self.payload,
+            "options": dict(self.options),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        return cls(**data)
+
+
+def experiment_job(
+    config: ExperimentConfig,
+    timeline_bucket: Optional[float] = None,
+) -> JobSpec:
+    """Spec for one harness experiment (sweep cell, replicated seed...)."""
+    options: dict = {}
+    if timeline_bucket is not None:
+        options["timeline_bucket"] = timeline_bucket
+    return JobSpec(
+        kind="experiment",
+        payload=config.to_dict(),
+        options=options,
+        label=config.label or f"seed{config.seed}",
+    )
+
+
+def scenario_job(
+    scenario,
+    liveness_bound: Optional[float] = None,
+    strict_availability: bool = False,
+    mutant: Optional[str] = None,
+) -> JobSpec:
+    """Spec for one oracle-armed fuzz scenario.
+
+    ``mutant`` names an entry of :data:`repro.verification.mutations.
+    MUTANTS`; the worker re-applies the broken classes, mirroring what
+    artifact replay does, because class objects themselves cannot cross
+    the spawn boundary.
+    """
+    options: dict = {}
+    if liveness_bound is not None:
+        options["liveness_bound"] = liveness_bound
+    if strict_availability:
+        options["strict_availability"] = True
+    if mutant is not None:
+        options["mutant"] = mutant
+    return JobSpec(
+        kind="scenario",
+        payload=scenario.to_dict(),
+        options=options,
+        label=scenario.label,
+    )
+
+
+def _run_experiment_job(payload: dict, options: dict) -> dict:
+    config = ExperimentConfig.from_dict(payload)
+    result = run_experiment(config)
+    summary = RunSummary.from_result(
+        result, timeline_bucket=options.get("timeline_bucket"),
+    )
+    return {"summary": summary.to_dict()}
+
+
+def _run_scenario_job(payload: dict, options: dict) -> dict:
+    from repro.verification.fuzzer import Scenario, run_scenario
+
+    scenario = Scenario.from_dict(payload)
+    mempool_cls = consensus_cls = None
+    strict = bool(options.get("strict_availability", False))
+    mutant_name = options.get("mutant")
+    if mutant_name is not None:
+        from repro.verification.mutations import MUTANTS
+
+        mutant = MUTANTS[mutant_name]
+        mempool_cls = mutant.mempool_cls
+        consensus_cls = mutant.consensus_cls
+        strict = strict or mutant.strict_availability
+    outcome = run_scenario(
+        scenario,
+        liveness_bound=options.get("liveness_bound"),
+        strict_availability=strict,
+        mempool_cls=mempool_cls,
+        consensus_cls=consensus_cls,
+    )
+    return {"outcome": outcome.to_dict(), "ok": outcome.ok}
+
+
+def _run_selftest_job(payload: dict, options: dict) -> dict:
+    """Executor plumbing probe: sleep, raise, or die on command.
+
+    Exists so the executor's timeout / clean-exception / crash-isolation
+    paths have something deterministic to exercise without building a
+    simulation (see ``tests/test_parallel.py``).
+    """
+    action = payload.get("action", "echo")
+    if action == "sleep":
+        time.sleep(float(payload.get("seconds", 60.0)))
+    elif action == "raise":
+        raise RuntimeError(payload.get("message", "selftest failure"))
+    elif action == "exit":
+        # Simulate a hard worker death (segfault/OOM-kill): no exception,
+        # no result message, just a closed pipe and a non-zero exitcode.
+        os._exit(int(payload.get("code", 3)))
+    return {"echo": payload.get("echo"), "pid": os.getpid()}
+
+
+JOB_KINDS = {
+    "experiment": _run_experiment_job,
+    "scenario": _run_scenario_job,
+    "selftest": _run_selftest_job,
+}
+
+
+def execute_job(spec_dict: dict) -> dict:
+    """Run one job spec to completion in the current process.
+
+    Shared by the spawned worker entrypoint and the in-process serial
+    path (``jobs=1``), so both produce byte-identical result dicts.
+    """
+    kind = spec_dict["kind"]
+    if kind not in JOB_KINDS:
+        raise ValueError(
+            f"unknown job kind {kind!r}; choose from {sorted(JOB_KINDS)}"
+        )
+    started = time.perf_counter()
+    value = JOB_KINDS[kind](
+        spec_dict["payload"], spec_dict.get("options") or {},
+    )
+    value["worker_wall_s"] = round(time.perf_counter() - started, 4)
+    value["worker_peak_rss_bytes"] = worker_peak_rss_bytes()
+    return value
+
+
+def worker_main(conn, spec_dict: dict) -> None:
+    """Entrypoint of a spawned worker: run one job, send one message.
+
+    A clean Python exception is reported as ``{"ok": False}`` with the
+    formatted traceback — deterministic failures are not retried. A hard
+    death (the ``exit`` selftest, a real segfault) sends nothing; the
+    parent sees the pipe close and the non-zero exitcode.
+    """
+    try:
+        value = execute_job(spec_dict)
+        conn.send({"ok": True, "value": value})
+    except BaseException:
+        try:
+            conn.send({"ok": False, "error": traceback.format_exc()})
+        except (BrokenPipeError, OSError):  # parent already gone
+            pass
+    finally:
+        conn.close()

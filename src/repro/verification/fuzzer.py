@@ -11,7 +11,6 @@ bit-for-bit — the FoundationDB-style property the shrinker depends on.
 
 from __future__ import annotations
 
-import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
@@ -20,6 +19,7 @@ from repro.config import CONSENSUS_KINDS, MEMPOOL_KINDS, ProtocolConfig
 from repro.faults.schedule import FaultSchedule
 from repro.harness.config import ExperimentConfig
 from repro.harness.runner import ExperimentResult, run_experiment
+from repro.metrics import commit_sequence_hash as metrics_commit_hash
 from repro.sim.rng import RngRegistry
 from repro.verification.oracles import OracleSuite, standard_suite
 
@@ -136,7 +136,16 @@ def random_fault_schedule(
 
 @dataclass
 class Scenario:
-    """One fully determined fuzz case; JSON round-trips for artifacts."""
+    """One fully determined fuzz case; JSON round-trips for artifacts.
+
+    The derived configuration objects (protocol, fault schedule, full
+    experiment config) are memoized per instance: the shrinker re-runs
+    the same candidate scenario's config accessors in a tight loop, and
+    rebuilding a :class:`FaultSchedule` from dicts each time was pure
+    waste. Mutating ``fault_spec`` in place after a config accessor has
+    been called is unsupported — use :meth:`replaced`, which returns a
+    fresh (cache-empty) instance.
+    """
 
     seed: int
     consensus: str
@@ -149,6 +158,15 @@ class Scenario:
     fault_spec: list = field(default_factory=list)
     index: int = 0
     root_seed: Optional[int] = None
+    _protocol_cache: Optional[ProtocolConfig] = field(
+        default=None, init=False, repr=False, compare=False,
+    )
+    _schedule_cache: Optional[FaultSchedule] = field(
+        default=None, init=False, repr=False, compare=False,
+    )
+    _experiment_cache: Optional[ExperimentConfig] = field(
+        default=None, init=False, repr=False, compare=False,
+    )
 
     @property
     def label(self) -> str:
@@ -164,25 +182,31 @@ class Scenario:
     def fault_schedule(self) -> Optional[FaultSchedule]:
         if not self.fault_spec:
             return None
-        return FaultSchedule.from_spec(self.fault_spec)
+        if self._schedule_cache is None:
+            self._schedule_cache = FaultSchedule.from_spec(self.fault_spec)
+        return self._schedule_cache
 
     def protocol_config(self) -> ProtocolConfig:
-        return ProtocolConfig(
-            n=self.n, consensus=self.consensus, mempool=self.mempool,
-            **QUICK_PROTOCOL,
-        )
+        if self._protocol_cache is None:
+            self._protocol_cache = ProtocolConfig(
+                n=self.n, consensus=self.consensus, mempool=self.mempool,
+                **QUICK_PROTOCOL,
+            )
+        return self._protocol_cache
 
     def experiment_config(self) -> ExperimentConfig:
-        return ExperimentConfig(
-            protocol=self.protocol_config(),
-            topology_kind=self.topology,
-            rate_tps=self.rate_tps,
-            duration=self.duration,
-            warmup=self.warmup,
-            seed=self.seed,
-            faults=self.fault_schedule(),
-            label=self.label,
-        )
+        if self._experiment_cache is None:
+            self._experiment_cache = ExperimentConfig(
+                protocol=self.protocol_config(),
+                topology_kind=self.topology,
+                rate_tps=self.rate_tps,
+                duration=self.duration,
+                warmup=self.warmup,
+                seed=self.seed,
+                faults=self.fault_schedule(),
+                label=self.label,
+            )
+        return self._experiment_cache
 
     def to_dict(self) -> dict:
         return {
@@ -232,6 +256,20 @@ class FuzzOutcome:
             "events_processed": self.events_processed,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "FuzzOutcome":
+        from repro.verification.oracles import Violation
+
+        return cls(
+            scenario=Scenario.from_dict(data["scenario"]),
+            violations=[
+                Violation.from_dict(v) for v in data["violations"]
+            ],
+            committed_tx=data["committed_tx"],
+            commit_hash=data["commit_hash"],
+            events_processed=data.get("events_processed", 0),
+        )
+
 
 def commit_sequence_hash(result: ExperimentResult) -> str:
     """Digest of the committed sequence — the determinism fingerprint.
@@ -239,13 +277,9 @@ def commit_sequence_hash(result: ExperimentResult) -> str:
     Two runs of the same scenario must produce identical hashes; any
     divergence means nondeterminism leaked into the simulation.
     """
-    digest = hashlib.sha256()
-    for record in result.metrics.commits:
-        digest.update(
-            f"{record.block_id}:{record.commit_time:.9f}:"
-            f"{record.tx_count};".encode()
-        )
-    return digest.hexdigest()[:16]
+    return metrics_commit_hash(
+        result.metrics.commits, include_microblocks=False, length=16,
+    )
 
 
 def run_scenario(
@@ -335,8 +369,29 @@ class ScenarioFuzzer:
         start: int = 0,
         stop_on_failure: bool = False,
         on_outcome: Optional[Callable[[FuzzOutcome], None]] = None,
+        jobs: int = 1,
+        executor: Optional[object] = None,
     ) -> list[FuzzOutcome]:
-        """Run ``iterations`` scenarios; optionally stop at first failure."""
+        """Run ``iterations`` scenarios; optionally stop at first failure.
+
+        With ``jobs > 1`` (or an explicit :class:`repro.parallel.
+        ParallelExecutor`), scenarios fan out across worker processes.
+        Outcomes are still reported in submission (index) order, so
+        ``stop_on_failure`` and resume-index semantics are identical to
+        the serial path: the returned list is always the contiguous
+        prefix ``start..k`` ending at the first failure. Each scenario's
+        simulation is seeded from the root seed alone, so the outcomes
+        — including every commit-sequence hash — are bit-for-bit the
+        same as a serial sweep's.
+        """
+        if executor is None and jobs > 1:
+            from repro.parallel import ParallelExecutor
+
+            executor = ParallelExecutor(jobs=jobs)
+        if executor is not None and executor.jobs > 1:
+            return self._run_parallel(
+                executor, iterations, start, stop_on_failure, on_outcome,
+            )
         outcomes: list[FuzzOutcome] = []
         for index in range(start, start + iterations):
             outcome = run_scenario(self.scenario(index))
@@ -345,4 +400,33 @@ class ScenarioFuzzer:
                 on_outcome(outcome)
             if stop_on_failure and not outcome.ok:
                 break
+        return outcomes
+
+    def _run_parallel(
+        self,
+        executor,
+        iterations: int,
+        start: int,
+        stop_on_failure: bool,
+        on_outcome: Optional[Callable[[FuzzOutcome], None]],
+    ) -> list[FuzzOutcome]:
+        from repro.parallel import scenario_job
+
+        specs = [
+            scenario_job(self.scenario(index))
+            for index in range(start, start + iterations)
+        ]
+        outcomes: list[FuzzOutcome] = []
+        for job in executor.imap(specs):
+            if job.error is not None:
+                raise RuntimeError(
+                    f"fuzz worker failed on {specs[job.index].label} "
+                    f"after {job.attempts} attempt(s): {job.error}"
+                )
+            outcome = FuzzOutcome.from_dict(job.value["outcome"])
+            outcomes.append(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+            if stop_on_failure and not outcome.ok:
+                break  # imap cleanup cancels the still-running jobs
         return outcomes

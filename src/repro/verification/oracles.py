@@ -63,6 +63,10 @@ class Violation:
             "details": self.details,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Violation":
+        return cls(**data)
+
     def __str__(self) -> str:
         where = f" (replica {self.node})" if self.node is not None else ""
         return (

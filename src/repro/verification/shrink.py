@@ -7,13 +7,22 @@ thin the workload — accepting each step only while the original oracle
 still fires. The minimized scenario round-trips through a JSON artifact
 (:func:`write_artifact` / :func:`replay_artifact`) so a failure found by
 a nightly fuzz run can be reproduced from the file alone.
+
+With an :class:`~repro.parallel.executor.ParallelExecutor`, the walk
+**speculates**: each pass launches its next batch of delta-debugging
+candidates concurrently and accepts the first failing candidate in
+deterministic candidate order, so the minimized scenario is identical to
+the serial walk's. Every launched candidate is charged against
+``max_runs`` (speculation spends budget for wall-clock), so the ``runs``
+bookkeeping may differ from a serial shrink even though the result does
+not.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.verification.fuzzer import FuzzOutcome, Scenario, run_scenario
 
@@ -74,16 +83,211 @@ def _max_node(entry: dict) -> int:
     return max(nodes) if nodes else -1
 
 
+class _CandidateEvaluator:
+    """Runs shrink candidates serially or speculatively in worker processes.
+
+    The greedy walk only ever asks two questions — "which is the first
+    candidate (in order) that still fails?" and "how deep into this
+    chain of candidates does the failure survive?" — so those are the
+    two primitives here. The speculative answers are computed by
+    launching a batch of up to ``executor.jobs`` candidates at once and
+    scanning the results in candidate order, which makes them equal to
+    the serial answers; only the ``runs`` accounting differs (every
+    launched candidate is charged).
+    """
+
+    def __init__(
+        self,
+        runner: Runner,
+        targets: set,
+        max_runs: int,
+        executor=None,
+        job_options: Optional[dict] = None,
+    ) -> None:
+        self.runner = runner
+        self.targets = targets
+        self.max_runs = max_runs
+        self.runs = 1  # the baseline reproduction is charged up front
+        # Speculation needs to rebuild the runner inside a fresh worker,
+        # which only works for the stock run_scenario (plus the knobs
+        # scenario_job can carry). A bespoke runner closure falls back
+        # to the serial walk.
+        self.executor = (
+            executor
+            if executor is not None
+            and (runner is run_scenario or job_options is not None)
+            else None
+        )
+        self.job_options = job_options or {}
+
+    @property
+    def exhausted(self) -> bool:
+        return self.runs >= self.max_runs
+
+    def _check(self, outcome: FuzzOutcome) -> Optional[FuzzOutcome]:
+        return outcome if _fails(outcome, self.targets) else None
+
+    def _attempt(self, candidate: Scenario) -> Optional[FuzzOutcome]:
+        if self.exhausted:
+            return None
+        self.runs += 1
+        try:
+            outcome = self.runner(candidate)
+        except ValueError:
+            return None  # candidate assembled an invalid experiment
+        return self._check(outcome)
+
+    def _evaluate_batch(
+        self, batch: List[Scenario]
+    ) -> List[Optional[FuzzOutcome]]:
+        """Run a batch concurrently; outcome-or-None per candidate."""
+        from repro.parallel.jobs import scenario_job
+
+        self.runs += len(batch)
+        specs = [
+            scenario_job(candidate, **self.job_options)
+            for candidate in batch
+        ]
+        results: List[Optional[FuzzOutcome]] = []
+        for job in self.executor.map(specs):
+            if job.error is not None:
+                if "ValueError" in job.error:
+                    results.append(None)  # invalid candidate, as serial
+                    continue
+                raise RuntimeError(
+                    f"shrink candidate {job.spec.label} failed: {job.error}"
+                )
+            outcome = FuzzOutcome.from_dict(job.value["outcome"])
+            results.append(self._check(outcome))
+        return results
+
+    def _batched(self, candidates: List[Scenario]):
+        """Yield (candidate, outcome-or-None) pairs, in candidate order."""
+        if self.executor is None:
+            for candidate in candidates:
+                if self.exhausted:
+                    return
+                yield candidate, self._attempt(candidate)
+            return
+        cursor = 0
+        while cursor < len(candidates) and not self.exhausted:
+            width = min(
+                self.executor.jobs,
+                self.max_runs - self.runs,
+                len(candidates) - cursor,
+            )
+            batch = candidates[cursor:cursor + width]
+            for candidate, outcome in zip(batch, self._evaluate_batch(batch)):
+                yield candidate, outcome
+            cursor += width
+
+    def first_failing(
+        self, candidates: List[Scenario]
+    ) -> Optional[Tuple[Scenario, FuzzOutcome]]:
+        """First candidate, in order, that reproduces the violation."""
+        for candidate, outcome in self._batched(candidates):
+            if outcome is not None:
+                return candidate, outcome
+        return None
+
+    def longest_failing_prefix(
+        self, chain: List[Scenario]
+    ) -> Optional[Tuple[Scenario, FuzzOutcome]]:
+        """Deepest entry of a monotone chain that still fails.
+
+        Mirrors the serial "keep halving until it stops failing" loop:
+        the walk stops at the first non-failing link, and whatever
+        speculative links were already launched past it are discarded
+        (but still charged).
+        """
+        accepted: Optional[Tuple[Scenario, FuzzOutcome]] = None
+        for candidate, outcome in self._batched(chain):
+            if outcome is None:
+                break
+            accepted = (candidate, outcome)
+        return accepted
+
+
+def _window_candidates(current: Scenario) -> List[Scenario]:
+    """Pass-2 candidates: each surviving window, narrowed once."""
+    spec = current.fault_spec
+    candidates: List[Scenario] = []
+    for i, entry in enumerate(spec):
+        candidate_spec = None
+        if entry.get("duration", 0.0) > 0.2:
+            shorter = dict(entry)
+            shorter["duration"] = round(entry["duration"] / 2, 3)
+            candidate_spec = spec[:i] + [shorter] + spec[i + 1:]
+        elif entry["event"] == "restart":
+            crash_at = next(
+                (
+                    e["at"] for e in spec
+                    if e["event"] == "crash"
+                    and e["node"] == entry["node"]
+                    and e["at"] < entry["at"]
+                ),
+                None,
+            )
+            if crash_at is not None and entry["at"] - crash_at > 0.2:
+                earlier = dict(entry)
+                earlier["at"] = round(
+                    crash_at + (entry["at"] - crash_at) / 2, 3
+                )
+                candidate_spec = spec[:i] + [earlier] + spec[i + 1:]
+        if candidate_spec is not None:
+            candidates.append(current.replaced(fault_spec=candidate_spec))
+    return candidates
+
+
+def _duration_chain(current: Scenario) -> List[Scenario]:
+    """Pass-3 chain: successive halvings that still cover the faults."""
+    chain: List[Scenario] = []
+    duration = current.duration
+    last_fault = max(
+        (e["at"] + e.get("duration", 0.0) for e in current.fault_spec),
+        default=0.0,
+    )
+    while duration > 1.0:
+        shorter = round(duration / 2, 3)
+        if current.warmup + shorter <= last_fault + 0.2:
+            break
+        chain.append(current.replaced(duration=shorter))
+        duration = shorter
+    return chain
+
+
+def _rate_chain(current: Scenario) -> List[Scenario]:
+    """Pass-5 chain: successive workload halvings down to 100 tps."""
+    chain: List[Scenario] = []
+    rate = current.rate_tps
+    while rate > 100.0:
+        rate = round(rate / 2, 1)
+        chain.append(current.replaced(rate_tps=rate))
+    return chain
+
+
 def shrink_scenario(
     scenario: Scenario,
     runner: Runner = run_scenario,
     max_runs: int = 60,
+    executor=None,
+    job_options: Optional[dict] = None,
 ) -> ShrinkResult:
     """Minimize a failing scenario while the violation reproduces.
 
     ``runner`` exists so callers (the mutation self-test, the CLI) can
     inject class overrides or oracle settings; it must be deterministic
     for the greedy walk to make sense.
+
+    ``executor`` (a :class:`~repro.parallel.executor.ParallelExecutor`)
+    turns the walk speculative: batches of candidates run concurrently
+    and the first failing candidate in candidate order wins, so the
+    minimized scenario equals the serial one. Speculation only engages
+    for the stock ``run_scenario`` runner — or when ``job_options``
+    (:func:`~repro.parallel.jobs.scenario_job` keywords such as
+    ``mutant`` or ``strict_availability``) spells out how a worker can
+    rebuild the runner; any other custom runner shrinks serially. The
+    baseline reproduction always runs in-process through ``runner``.
     """
     baseline = runner(scenario)
     if baseline.ok:
@@ -91,112 +295,61 @@ def shrink_scenario(
             f"scenario {scenario.label} does not fail; nothing to shrink"
         )
     targets = {violation.oracle for violation in baseline.violations}
-    runs = 1
+    evaluator = _CandidateEvaluator(
+        runner, targets, max_runs, executor=executor, job_options=job_options,
+    )
     current, current_outcome = scenario, baseline
-
-    def attempt(candidate: Scenario) -> Optional[FuzzOutcome]:
-        nonlocal runs
-        if runs >= max_runs:
-            return None
-        runs += 1
-        try:
-            outcome = runner(candidate)
-        except ValueError:
-            return None  # candidate assembled an invalid experiment
-        return outcome if _fails(outcome, targets) else None
 
     # Pass 1: drop whole fault events, greedily, to a fixpoint.
     changed = True
-    while changed and runs < max_runs:
+    while changed and not evaluator.exhausted:
         changed = False
         spec = current.fault_spec
+        candidates = []
         for unit in _event_units(spec):
             drop = set(unit)
             pruned = [e for i, e in enumerate(spec) if i not in drop]
-            outcome = attempt(current.replaced(fault_spec=pruned))
-            if outcome is not None:
-                current = current.replaced(fault_spec=pruned)
-                current_outcome = outcome
-                changed = True
-                break  # indices shifted; regroup
+            candidates.append(current.replaced(fault_spec=pruned))
+        accepted = evaluator.first_failing(candidates)
+        if accepted is not None:
+            current, current_outcome = accepted
+            changed = True  # indices shifted; regroup and go again
 
     # Pass 2: narrow the surviving windows.
     changed = True
-    while changed and runs < max_runs:
+    while changed and not evaluator.exhausted:
         changed = False
-        spec = current.fault_spec
-        for i, entry in enumerate(spec):
-            candidate_spec = None
-            if entry.get("duration", 0.0) > 0.2:
-                shorter = dict(entry)
-                shorter["duration"] = round(entry["duration"] / 2, 3)
-                candidate_spec = spec[:i] + [shorter] + spec[i + 1:]
-            elif entry["event"] == "restart":
-                crash_at = next(
-                    (
-                        e["at"] for e in spec
-                        if e["event"] == "crash"
-                        and e["node"] == entry["node"]
-                        and e["at"] < entry["at"]
-                    ),
-                    None,
-                )
-                if crash_at is not None and entry["at"] - crash_at > 0.2:
-                    earlier = dict(entry)
-                    earlier["at"] = round(
-                        crash_at + (entry["at"] - crash_at) / 2, 3
-                    )
-                    candidate_spec = spec[:i] + [earlier] + spec[i + 1:]
-            if candidate_spec is None:
-                continue
-            outcome = attempt(current.replaced(fault_spec=candidate_spec))
-            if outcome is not None:
-                current = current.replaced(fault_spec=candidate_spec)
-                current_outcome = outcome
-                changed = True
-                break
+        accepted = evaluator.first_failing(_window_candidates(current))
+        if accepted is not None:
+            current, current_outcome = accepted
+            changed = True
 
     # Pass 3: halve the run duration while the failure still fits.
-    while runs < max_runs and current.duration > 1.0:
-        shorter = round(current.duration / 2, 3)
-        last_fault = max(
-            (e["at"] + e.get("duration", 0.0) for e in current.fault_spec),
-            default=0.0,
-        )
-        if current.warmup + shorter <= last_fault + 0.2:
-            break
-        outcome = attempt(current.replaced(duration=shorter))
-        if outcome is None:
-            break
-        current = current.replaced(duration=shorter)
-        current_outcome = outcome
+    accepted = evaluator.longest_failing_prefix(_duration_chain(current))
+    if accepted is not None:
+        current, current_outcome = accepted
 
     # Pass 4: shrink the cluster when no event references high replicas.
-    for smaller in (4, 5):
-        if smaller >= current.n or runs >= max_runs:
-            continue
-        if any(_max_node(e) >= smaller for e in current.fault_spec):
-            continue
-        outcome = attempt(current.replaced(n=smaller))
-        if outcome is not None:
-            current = current.replaced(n=smaller)
-            current_outcome = outcome
-            break
+    candidates = [
+        current.replaced(n=smaller)
+        for smaller in (4, 5)
+        if smaller < current.n
+        and not any(_max_node(e) >= smaller for e in current.fault_spec)
+    ]
+    accepted = evaluator.first_failing(candidates)
+    if accepted is not None:
+        current, current_outcome = accepted
 
     # Pass 5: thin the workload.
-    while runs < max_runs and current.rate_tps > 100.0:
-        thinner = round(current.rate_tps / 2, 1)
-        outcome = attempt(current.replaced(rate_tps=thinner))
-        if outcome is None:
-            break
-        current = current.replaced(rate_tps=thinner)
-        current_outcome = outcome
+    accepted = evaluator.longest_failing_prefix(_rate_chain(current))
+    if accepted is not None:
+        current, current_outcome = accepted
 
     return ShrinkResult(
         original=scenario,
         minimized=current,
         outcome=current_outcome,
-        runs=runs,
+        runs=evaluator.runs,
     )
 
 

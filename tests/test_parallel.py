@@ -1,0 +1,278 @@
+"""Tests for the process-pool executor and its integrations.
+
+The determinism tests are the hash gate the whole package hangs on: a
+parallel run must be bit-for-bit the serial run, for fuzz sweeps,
+seed-replicated points, and benchmark grid cells alike. The unit tests
+exercise the executor's failure plumbing (timeout, retry, crash
+isolation) through the self-test job kind, which needs no simulator.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import ProtocolConfig
+from repro.harness import ExperimentConfig, run_experiment, run_replicated
+from repro.parallel import (
+    JobSpec,
+    ParallelExecutor,
+    RunSummary,
+    experiment_job,
+    sweep,
+)
+from repro.verification import MUTANTS, ScenarioFuzzer, run_scenario
+from repro.verification.shrink import shrink_scenario
+
+
+def small_config(**kwargs):
+    kwargs.setdefault("label", "par-test")
+    protocol = ProtocolConfig(n=4, batch_bytes=512)
+    return ExperimentConfig(
+        protocol=protocol, rate_tps=500, duration=1.0, warmup=0.5, **kwargs
+    )
+
+
+def selftest(action, **payload):
+    payload["action"] = action
+    return JobSpec(kind="selftest", payload=payload, label=action)
+
+
+# Deterministic fields of a RunSummary: everything except host-side
+# timing and memory, which legitimately differ run to run.
+HOST_FIELDS = ("wall_clock_s", "peak_rss_bytes")
+
+
+def deterministic_dict(summary: RunSummary) -> dict:
+    data = summary.to_dict()
+    for field in HOST_FIELDS:
+        data.pop(field)
+    return data
+
+
+class TestExecutorUnit:
+    def test_results_in_submission_order(self):
+        executor = ParallelExecutor(jobs=2)
+        # The first job sleeps past the second's finish; order must hold.
+        specs = [
+            selftest("sleep", seconds=0.5, echo="slow"),
+            selftest("echo", echo="fast"),
+            selftest("echo", echo="also-fast"),
+        ]
+        results = executor.map(specs)
+        assert [job.index for job in results] == [0, 1, 2]
+        assert all(job.ok for job in results)
+        assert results[1].value["echo"] == "fast"
+
+    def test_clean_exception_not_retried(self):
+        executor = ParallelExecutor(jobs=2, retries=3)
+        [job] = executor.map([selftest("raise", message="boom")])
+        assert not job.ok
+        assert "boom" in job.error
+        assert job.attempts == 1  # deterministic failure: one attempt
+        assert not job.crashed and not job.timed_out
+
+    def test_crash_is_retried_then_isolated(self):
+        executor = ParallelExecutor(jobs=2, retries=1)
+        specs = [
+            selftest("echo", echo="before"),
+            selftest("exit", code=3),
+            selftest("echo", echo="after"),
+        ]
+        results = executor.map(specs)
+        assert results[0].ok and results[2].ok  # neighbors unaffected
+        dead = results[1]
+        assert not dead.ok
+        assert dead.crashed
+        assert dead.attempts == 2  # first try + one retry
+        assert "exited with code 3" in dead.error
+
+    def test_timeout_kills_the_worker(self):
+        executor = ParallelExecutor(jobs=2, timeout=1.0, retries=0)
+        [job] = executor.map([selftest("sleep", seconds=60)])
+        assert not job.ok
+        assert job.timed_out
+        assert job.attempts == 1
+        assert "timeout" in job.error
+
+    def test_serial_path_runs_in_process(self):
+        executor = ParallelExecutor(jobs=1)
+        ok, bad = executor.map([
+            selftest("echo", echo="hi"), selftest("raise"),
+        ])
+        import os
+
+        assert ok.value["pid"] == os.getpid()  # no subprocess at jobs=1
+        assert not bad.ok and "RuntimeError" in bad.error
+
+    def test_early_close_cancels_stragglers(self):
+        executor = ParallelExecutor(jobs=2)
+        specs = [
+            selftest("echo", echo="first"),
+            selftest("sleep", seconds=60),
+        ]
+        iterator = executor.imap(specs)
+        assert next(iterator).ok
+        iterator.close()  # must terminate the sleeper, not hang
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(timeout=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(retries=-1)
+        with pytest.raises(TypeError):
+            ParallelExecutor(jobs=1).map(["not a spec"])
+
+
+class TestJobSpecs:
+    def test_experiment_spec_round_trips(self):
+        spec = experiment_job(small_config(), timeline_bucket=1.0)
+        clone = JobSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.label == "par-test"
+        assert clone.options == {"timeline_bucket": 1.0}
+
+    def test_summary_round_trips_with_int_percentiles(self):
+        summary = RunSummary.from_result(run_experiment(small_config()))
+        clone = RunSummary.from_dict(summary.to_dict())
+        assert clone == summary
+        assert all(isinstance(p, int) for p in clone.latency_percentiles)
+        assert clone.latency_percentile(99) >= clone.latency_percentile(50)
+        with pytest.raises(ValueError):
+            clone.latency_percentile(75)  # only p50/p95/p99 carried
+
+    def test_summary_matches_result(self):
+        result = run_experiment(small_config())
+        summary = RunSummary.from_result(result)
+        assert summary.commit_hash == result.commit_hash
+        assert summary.throughput_tps == result.throughput_tps
+        assert summary.committed_tx == result.committed_tx
+        assert summary.events_processed == result.events_processed
+
+
+class TestDeterminism:
+    """jobs=1 and jobs=4 must be bit-for-bit equal, per integration."""
+
+    def test_fuzz_sweep_hashes(self):
+        serial = ScenarioFuzzer(7).run(4)
+        parallel = ScenarioFuzzer(7).run(4, jobs=4)
+        assert [o.commit_hash for o in serial] == [
+            o.commit_hash for o in parallel
+        ]
+        assert [o.scenario for o in serial] == [
+            o.scenario for o in parallel
+        ]
+        assert [o.ok for o in serial] == [o.ok for o in parallel]
+
+    def test_replicated_run_hashes(self):
+        config = small_config()
+        serial = run_replicated(config, seeds=[1, 2, 3])
+        parallel = run_replicated(config, seeds=[1, 2, 3], jobs=4)
+        assert serial.commit_hashes == parallel.commit_hashes
+        assert serial.throughput_mean == parallel.throughput_mean
+        assert serial.latency_mean == parallel.latency_mean
+        assert serial.view_changes_mean == parallel.view_changes_mean
+
+    def test_grid_cell_summaries(self):
+        configs = [
+            small_config(),
+            dataclasses.replace(small_config(), seed=9, label="cell-2"),
+        ]
+        serial = sweep(configs, jobs=1)
+        parallel = sweep(configs, jobs=4)
+        assert [deterministic_dict(s) for s in serial] == [
+            deterministic_dict(p) for p in parallel
+        ]
+
+    def test_fuzz_stop_on_failure_prefix(self):
+        """Parallel stop-on-failure returns the same contiguous prefix."""
+        fuzzer = ScenarioFuzzer(7)
+        serial = fuzzer.run(4, stop_on_failure=True)
+        parallel = ScenarioFuzzer(7).run(4, stop_on_failure=True, jobs=4)
+        assert [o.scenario.index for o in serial] == [
+            o.scenario.index for o in parallel
+        ]
+
+
+class TestReplicatedAggregates:
+    def test_events_per_sec_and_hashes_aggregated(self):
+        result = run_replicated(small_config(), seeds=[1, 2])
+        assert result.events_per_sec_mean > 0
+        assert len(result.commit_hashes) == 2
+        assert all(len(h) == 64 for h in result.commit_hashes)
+        # Different seeds diverge; same seed agrees.
+        assert result.commit_hashes[0] != result.commit_hashes[1]
+        again = run_replicated(small_config(), seeds=[1, 2])
+        assert again.commit_hashes == result.commit_hashes
+
+
+def padded_mute_votes():
+    base = MUTANTS["mute-votes"].scenario
+    padding = [
+        {"event": "delay", "at": 0.6, "duration": 0.4,
+         "base": 0.03, "jitter": 0.01, "bandwidth_factor": 0.9},
+        {"event": "bandwidth", "at": 1.2, "duration": 0.4,
+         "factor": 0.5, "nodes": [0, 1]},
+    ]
+    return base.replaced(fault_spec=padding)
+
+
+class TestSpeculativeShrink:
+    def test_speculative_equals_serial(self):
+        mutant = MUTANTS["mute-votes"]
+
+        def runner(scenario):
+            return run_scenario(
+                scenario,
+                strict_availability=mutant.strict_availability,
+                mempool_cls=mutant.mempool_cls,
+                consensus_cls=mutant.consensus_cls,
+            )
+
+        scenario = padded_mute_votes()
+        serial = shrink_scenario(scenario, runner=runner, max_runs=30)
+        speculative = shrink_scenario(
+            scenario, runner=runner, max_runs=30,
+            executor=ParallelExecutor(jobs=2),
+            job_options={"mutant": "mute-votes"},
+        )
+        assert speculative.minimized == serial.minimized
+        assert speculative.minimized.fault_spec == []
+        # Speculation may charge more runs (launched candidates count)
+        # but never exceeds the budget.
+        assert speculative.runs <= 30
+
+    def test_custom_runner_falls_back_to_serial(self):
+        mutant = MUTANTS["mute-votes"]
+
+        def runner(scenario):
+            return run_scenario(scenario, mempool_cls=mutant.mempool_cls)
+
+        scenario = padded_mute_votes()
+        serial = shrink_scenario(scenario, runner=runner, max_runs=30)
+        # executor given but runner is a closure and no job_options:
+        # speculation silently disengages, result and accounting match.
+        fallback = shrink_scenario(
+            scenario, runner=runner, max_runs=30,
+            executor=ParallelExecutor(jobs=2),
+        )
+        assert fallback.minimized == serial.minimized
+        assert fallback.runs == serial.runs
+
+
+class TestScenarioCaching:
+    def test_derived_configs_memoized(self):
+        scenario = ScenarioFuzzer(7).scenario(0)
+        assert scenario.experiment_config() is scenario.experiment_config()
+        assert scenario.protocol_config() is scenario.protocol_config()
+        if scenario.fault_spec:
+            assert scenario.fault_schedule() is scenario.fault_schedule()
+
+    def test_replaced_scenario_gets_fresh_cache(self):
+        scenario = ScenarioFuzzer(7).scenario(0)
+        before = scenario.experiment_config()
+        faster = scenario.replaced(rate_tps=123.0)
+        assert faster.experiment_config() is not before
+        assert faster.experiment_config().rate_tps == 123.0
+        assert scenario.experiment_config() is before  # original untouched
