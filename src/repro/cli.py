@@ -24,12 +24,22 @@ interface::
 non-zero if any violation survives; with ``--shrink`` each failure is
 minimized and written as a replayable JSON artifact that ``replay``
 re-runs bit-for-bit.
+
+A third subcommand leaves the simulator entirely: ``live`` runs the
+same protocol stack as real OS processes over localhost TCP::
+
+    python -m repro live --protocol hotstuff --mempool stratus -n 4 \
+        --duration 10
+
+and exits non-zero if the cluster commits nothing or a safety oracle
+fires on the merged commit log (see :mod:`repro.live`).
 """
 
 from __future__ import annotations
 
 import argparse
 import cProfile
+import json
 import math
 import pstats
 from pathlib import Path
@@ -200,6 +210,96 @@ def run_fuzz(argv: Sequence[str]) -> int:
     return 1 if failures else 0
 
 
+def build_live_parser() -> argparse.ArgumentParser:
+    from repro.config import CONSENSUS_KINDS, MEMPOOL_KINDS
+
+    parser = argparse.ArgumentParser(
+        prog="repro live",
+        description="Run the real protocol stack over asyncio TCP on "
+                    "localhost, one OS process per replica, and verify "
+                    "the commit sequences against the safety oracles.",
+    )
+    parser.add_argument("--protocol", choices=CONSENSUS_KINDS,
+                        default="hotstuff", help="consensus engine")
+    parser.add_argument("--mempool", choices=MEMPOOL_KINDS,
+                        default="stratus")
+    parser.add_argument("-n", type=int, default=4, help="replica count")
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="measurement window, seconds of wall clock")
+    parser.add_argument("--warmup", type=float, default=1.0)
+    parser.add_argument("--rate", type=float, default=1_000.0,
+                        help="offered load, tx/s")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--selector", choices=["uniform", "zipf1", "zipf10"],
+                        default="uniform")
+    parser.add_argument("--tick", type=float, default=0.01,
+                        help="client submission tick, seconds")
+    parser.add_argument("--startup-grace", type=float, default=None,
+                        help="seconds allowed for replica processes to "
+                             "boot before protocol t=0")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the full result document to PATH")
+    return parser
+
+
+def run_live_cmd(argv: Sequence[str]) -> int:
+    from repro.config import ProtocolConfig
+    from repro.live import LiveConfig, run_live
+
+    args = build_live_parser().parse_args(argv)
+    protocol = ProtocolConfig(
+        n=args.n, mempool=args.mempool, consensus=args.protocol
+    )
+    config = ExperimentConfig(
+        protocol=protocol,
+        rate_tps=args.rate,
+        duration=args.duration,
+        warmup=args.warmup,
+        seed=args.seed,
+        selector=args.selector,
+        tick=args.tick,
+        label=f"live-{args.mempool}/{args.protocol}-n{args.n}",
+    )
+    live = LiveConfig(experiment=config)
+    if args.startup_grace is not None:
+        live.startup_grace = args.startup_grace
+
+    print(f"live: {config.label} for {config.end_time:.0f}s wall clock "
+          f"at {config.rate_tps:,.0f} tx/s offered")
+    result = run_live(live)
+
+    print(format_table(
+        ["node", "commits", "MB in", "MB out", "msgs"],
+        [
+            [
+                entry["node_id"],
+                entry["commits"],
+                f"{entry['bytes_in'] / 1e6:.2f}",
+                f"{entry['bytes_out'] / 1e6:.2f}",
+                entry["messages_delivered"],
+            ]
+            for entry in result.per_replica
+        ],
+        title=f"{result.label}: {result.throughput_tps:,.0f} tx/s, "
+              f"lat mean {result.latency.mean * 1000:.1f} ms / "
+              f"p99 {result.latency.percentile(99) * 1000:.1f} ms, "
+              f"{result.committed_blocks} blocks "
+              f"({result.committed_tx:,} tx) committed",
+    ))
+    for violation in result.violations:
+        print(f"  VIOLATION {violation}")
+    if args.json is not None:
+        Path(args.json).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.json).write_text(json.dumps(result.to_dict(), indent=2))
+        print(f"live: wrote {args.json}")
+    if not result.ok:
+        print("live: FAILED "
+              f"({len(result.violations)} violations, "
+              f"{result.committed_blocks} blocks committed)")
+        return 1
+    return 0
+
+
 def run_replay(argv: Sequence[str]) -> int:
     from repro.verification import replay_artifact
 
@@ -232,6 +332,8 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
         return run_fuzz(argv[1:])
     if argv and argv[0] == "replay":
         return run_replay(argv[1:])
+    if argv and argv[0] == "live":
+        return run_live_cmd(argv[1:])
     args = build_parser().parse_args(argv)
     overrides = {
         key: value

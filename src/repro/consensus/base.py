@@ -6,7 +6,7 @@ import abc
 from typing import TYPE_CHECKING
 
 from repro.config import ProtocolConfig
-from repro.sim.network import Channel, Envelope
+from repro.sim.interfaces import Channel, Envelope
 from repro.types.proposal import Proposal
 
 if TYPE_CHECKING:  # pragma: no cover

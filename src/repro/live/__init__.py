@@ -1,0 +1,44 @@
+"""Live runtime: the real protocol stack over asyncio TCP.
+
+This package runs the **unmodified** consensus + mempool + replica
+classes from :mod:`repro` over real sockets, one OS process per replica.
+It provides the second backend for the scheduler/transport seam defined
+in :mod:`repro.sim.interfaces`:
+
+========================  ==========================  ==========================
+surface                   simulated backend           live backend
+========================  ==========================  ==========================
+:class:`Scheduler`        ``repro.sim.engine``        :class:`RealtimeScheduler`
+:class:`Transport`        ``repro.sim.network``       :class:`LiveNetwork`
+message encoding          in-memory object passing    :mod:`repro.live.wire`
+workload                  ``repro.workload``          :mod:`repro.live.client`
+process model             one process, n replicas     n processes + 1 client
+========================  ==========================  ==========================
+
+Entry point: :func:`repro.live.orchestrator.run_live` (CLI:
+``python -m repro live``).
+"""
+
+from repro.live.orchestrator import LiveConfig, LiveRunResult, run_live
+from repro.live.scheduler import RealtimeScheduler
+from repro.live.wire import (
+    MESSAGE_REGISTRY,
+    WireError,
+    decode_frame,
+    encode_frame,
+    from_wire,
+    to_wire,
+)
+
+__all__ = [
+    "LiveConfig",
+    "LiveRunResult",
+    "run_live",
+    "RealtimeScheduler",
+    "MESSAGE_REGISTRY",
+    "WireError",
+    "encode_frame",
+    "decode_frame",
+    "to_wire",
+    "from_wire",
+]

@@ -1,0 +1,232 @@
+"""Asyncio TCP :class:`Transport` backend.
+
+One :class:`LiveNetwork` instance serves exactly one replica process: it
+listens on its own localhost port and keeps one outbound connection per
+peer. Frames are the length-prefixed JSON documents of
+:mod:`repro.live.wire`; per-peer FIFO ordering falls out of TCP plus the
+single writer task per link, satisfying the :class:`Transport` ordering
+contract the protocol recovery paths rely on.
+
+``send``/``broadcast`` stay synchronous (the protocol code is the same
+code that runs in-sim): they encode the frame immediately — which is
+where the codec's purity assertion fires — and hand the bytes to the
+peer link's writer task via an unbounded queue. All protocol callbacks
+run on the owning event loop's thread, so no locking is needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.live.wire import CLIENT_BATCH, FrameDecoder, WireError, encode_frame
+from repro.sim.interfaces import Channel, Envelope, Handler, Scheduler, Transport
+from repro.sim.network import NetworkStats
+
+#: How long a peer link keeps retrying its initial connection. Covers
+#: the orchestrator's startup window where replicas come up in any order.
+CONNECT_TIMEOUT = 15.0
+CONNECT_RETRY_DELAY = 0.05
+
+
+class _PeerLink:
+    """One outbound connection: an unbounded frame queue + a writer task."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.queue: asyncio.Queue[Optional[bytes]] = asyncio.Queue()
+        self.task: Optional[asyncio.Task] = None
+        self.bytes_out = 0
+
+    async def run(self) -> None:
+        writer = None
+        try:
+            writer = await self._connect()
+            if writer is None:
+                return
+            while True:
+                frame = await self.queue.get()
+                if frame is None:  # shutdown sentinel
+                    break
+                writer.write(frame)
+                self.bytes_out += len(frame)
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            # Peer process exited (shutdown or crash): drop the link.
+            # Message loss is within the Transport contract.
+            pass
+        finally:
+            if writer is not None:
+                writer.close()
+
+    async def _connect(self):
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + CONNECT_TIMEOUT
+        while True:
+            try:
+                _, writer = await asyncio.open_connection(self.host, self.port)
+                return writer
+            except ConnectionError:
+                if loop.time() >= deadline:
+                    return None
+                await asyncio.sleep(CONNECT_RETRY_DELAY)
+
+
+class LiveNetwork(Transport):
+    """TCP message fabric for one replica (or the client driver)."""
+
+    def __init__(
+        self,
+        node_id: int,
+        ports: dict[int, int],
+        scheduler: Scheduler,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.node_id = node_id
+        self.ports = ports
+        self.host = host
+        self.scheduler = scheduler
+        self.stats = NetworkStats()
+        self.bytes_in = 0
+        self._handler: Optional[Handler] = None
+        #: Hook for the synthetic ``client.batch`` kind, which must not
+        #: reach ``Replica.handle`` (it only routes protocol kinds).
+        self.client_handler: Optional[Handler] = None
+        self._links: dict[int, _PeerLink] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._closed = False
+
+    @property
+    def bytes_out(self) -> int:
+        return sum(link.bytes_out for link in self._links.values())
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self, listen: bool = True) -> None:
+        """Bind the listening socket and spawn peer links.
+
+        The client driver passes ``listen=False``: it only writes.
+        """
+        if listen:
+            self._server = await asyncio.start_server(
+                self._accept, self.host, self.ports[self.node_id]
+            )
+        loop = asyncio.get_running_loop()
+        for node, port in self.ports.items():
+            if node == self.node_id:
+                continue
+            link = _PeerLink(self.host, port)
+            link.task = loop.create_task(link.run())
+            self._links[node] = link
+
+    async def close(self) -> None:
+        self._closed = True
+        for link in self._links.values():
+            link.queue.put_nowait(None)
+        tasks = [link.task for link in self._links.values() if link.task]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # -- Transport surface ---------------------------------------------
+
+    def register(self, node: int, handler: Handler) -> None:
+        if node != self.node_id:
+            raise ValueError(
+                f"live network of node {self.node_id} cannot host node {node}"
+            )
+        if self._handler is not None:
+            raise ValueError(f"node {node} already registered")
+        self._handler = handler
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        size_bytes: float,
+        payload: object,
+        channel: Channel = Channel.DATA,
+    ) -> None:
+        if self._closed:
+            return
+        if dst == self.node_id:
+            # Loopback: deliver on the next loop tick, like the
+            # simulator's zero-delay local delivery — never re-entrantly.
+            envelope = Envelope(
+                src, dst, kind, 0.0, payload, channel, self.scheduler.now
+            )
+            self.scheduler.schedule(0.0, lambda: self._dispatch(envelope))
+            return
+        link = self._links.get(dst)
+        if link is None:
+            raise ValueError(f"send to unknown node {dst}")
+        frame = encode_frame(src, kind, channel, payload)
+        self.stats.record_send(src, kind, len(frame))
+        link.queue.put_nowait(frame)
+
+    def broadcast(
+        self,
+        src: int,
+        kind: str,
+        size_bytes: float,
+        payload: object,
+        channel: Channel = Channel.DATA,
+        recipients: Optional[list[int]] = None,
+        include_self: bool = False,
+    ) -> None:
+        if recipients is None:
+            recipients = [node for node in self.ports if node != src]
+        for dst in recipients:
+            if dst == src and not include_self:
+                continue
+            self.send(src, dst, kind, size_bytes, payload, channel)
+        if include_self and src not in recipients:
+            self.send(src, src, kind, size_bytes, payload, channel)
+
+    # -- receive path --------------------------------------------------
+
+    async def _accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await reader.read(64 * 1024)
+                if not data:
+                    break
+                self.bytes_in += len(data)
+                for src, kind, channel, payload in decoder.feed(data):
+                    envelope = Envelope(
+                        src, self.node_id, kind, 0.0, payload, channel,
+                        self.scheduler.now,
+                    )
+                    self._dispatch(envelope)
+        except (ConnectionError, WireError):
+            # A reset peer or desynced stream only loses that stream's
+            # remaining messages — again within the Transport contract.
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown mid-read (asyncio.run cancelling leftover
+            # tasks); swallowing keeps shutdown quiet.
+            pass
+        finally:
+            writer.close()
+
+    def _dispatch(self, envelope: Envelope) -> None:
+        if self._closed:
+            self.stats.messages_dropped += 1
+            return
+        if envelope.kind == CLIENT_BATCH:
+            if self.client_handler is not None:
+                self.stats.messages_delivered += 1
+                self.client_handler(envelope)
+            return
+        if self._handler is None:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        self._handler(envelope)

@@ -1,0 +1,252 @@
+"""Live run orchestrator: n replica processes + 1 in-process client.
+
+``run_live`` takes the same :class:`ExperimentConfig` the simulator
+takes (topology/fault fields are ignored — the localhost kernel path
+*is* the network), spawns one OS process per replica, drives the
+workload from the parent, and merges the per-replica results back into
+the :class:`MetricsHub` report format so live and simulated numbers are
+directly comparable.
+
+Merging recovers the sim's measurement semantics: every replica records
+every block it commits locally, and the parent deduplicates by block id
+keeping the *earliest* wall-clock commit — the live equivalent of "the
+first correct replica to commit reports it".
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import socket
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.harness.config import ExperimentConfig
+from repro.live.client import run_client
+from repro.live.replica_proc import replica_main
+from repro.live.verify import verify_events
+from repro.metrics import MetricsHub, WeightedDigest
+from repro.verification.oracles import Violation
+
+#: Wall-clock seconds between process spawn and protocol t=0. Must cover
+#: n interpreter starts + module imports so every replica is listening
+#: before consensus begins.
+DEFAULT_STARTUP_GRACE = 3.0
+
+#: Seconds past the replica's own shutdown grace before the parent
+#: escalates to terminate/kill.
+JOIN_SLACK = 10.0
+
+
+@dataclass
+class LiveConfig:
+    """Live-specific knobs layered over an :class:`ExperimentConfig`."""
+
+    experiment: ExperimentConfig
+    host: str = "127.0.0.1"
+    startup_grace: float = DEFAULT_STARTUP_GRACE
+    #: Directory for per-replica result JSON files (a temp dir when None).
+    scratch_dir: Optional[str] = None
+
+
+class _FixedClock:
+    """Minimal ``now`` holder for the merged (post-run) MetricsHub."""
+
+    def __init__(self, now: float) -> None:
+        self.now = now
+
+
+@dataclass
+class LiveRunResult:
+    """Merged outcome of one live run (mirrors ``ExperimentResult``)."""
+
+    label: str
+    throughput_tps: float
+    latency: WeightedDigest
+    committed_blocks: int
+    committed_tx: int
+    emitted_tx: int
+    view_changes: int
+    metrics: MetricsHub
+    config: ExperimentConfig
+    per_replica: list[dict]
+    violations: list[Violation]
+    wall_clock_s: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.committed_blocks > 0
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": "live",
+            "label": self.label,
+            "throughput_tps": self.throughput_tps,
+            "latency_mean_ms": self.latency.mean * 1000,
+            "latency_p50_ms": self.latency.percentile(50) * 1000,
+            "latency_p99_ms": self.latency.percentile(99) * 1000,
+            "committed_blocks": self.committed_blocks,
+            "committed_tx": self.committed_tx,
+            "emitted_tx": self.emitted_tx,
+            "view_changes": self.view_changes,
+            "wall_clock_s": self.wall_clock_s,
+            "per_replica": self.per_replica,
+            "violations": [v.to_dict() for v in self.violations],
+            "config": self.config.to_dict(),
+        }
+
+
+def allocate_ports(n: int, host: str = "127.0.0.1") -> dict[int, int]:
+    """Reserve ``n`` free localhost ports via ephemeral bind.
+
+    The sockets are closed before the replicas re-bind; on localhost the
+    window for another process to steal one is negligible, and a stolen
+    port fails loudly at replica startup.
+    """
+    sockets = []
+    ports: dict[int, int] = {}
+    try:
+        for node in range(n):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.bind((host, 0))
+            sockets.append(sock)
+            ports[node] = sock.getsockname()[1]
+    finally:
+        for sock in sockets:
+            sock.close()
+    return ports
+
+
+def _merge(
+    config: ExperimentConfig,
+    replica_results: list[dict],
+    emitted_tx: int,
+    wall_clock_s: float,
+) -> LiveRunResult:
+    hub = MetricsHub(_FixedClock(config.end_time))
+    commits = sorted(
+        (
+            commit
+            for result in replica_results
+            for commit in result["commits"]
+        ),
+        key=lambda c: (c["commit_time"], c["block_id"]),
+    )
+    for commit in commits:
+        hub.record_commit(
+            block_id=commit["block_id"],
+            tx_count=commit["tx_count"],
+            microblock_count=commit["microblock_count"],
+            latencies=[tuple(pair) for pair in commit["latencies"]],
+            commit_time=commit["commit_time"],
+        )
+
+    events = [
+        event for result in replica_results for event in result["events"]
+    ]
+    violations = verify_events(events, emitted_tx)
+
+    start, end = config.warmup, config.end_time
+    return LiveRunResult(
+        label=(config.label or (
+            f"live-{config.protocol.mempool}/{config.protocol.consensus}"
+            f"-n{config.protocol.n}"
+        )),
+        throughput_tps=hub.throughput_tps(start, end),
+        latency=hub.latency_stats(start, end),
+        committed_blocks=len(hub.commits),
+        committed_tx=hub.committed_tx_total,
+        emitted_tx=emitted_tx,
+        view_changes=sum(r["view_changes"] for r in replica_results),
+        metrics=hub,
+        config=config,
+        per_replica=[
+            {
+                "node_id": result["node_id"],
+                "commits": len(result["commits"]),
+                "bytes_in": result["bytes_in"],
+                "bytes_out": result["bytes_out"],
+                "messages_delivered": result["messages_delivered"],
+            }
+            for result in sorted(replica_results, key=lambda r: r["node_id"])
+        ],
+        violations=violations,
+        wall_clock_s=wall_clock_s,
+    )
+
+
+def run_live(live: LiveConfig) -> LiveRunResult:
+    """Execute one live run end to end; blocks until all processes exit."""
+    config = live.experiment
+    n = config.protocol.n
+    started = time.perf_counter()
+    ports = allocate_ports(n, live.host)
+    epoch = time.time() + live.startup_grace
+
+    context = multiprocessing.get_context("spawn")
+    with tempfile.TemporaryDirectory(dir=live.scratch_dir) as scratch:
+        processes = []
+        result_paths = []
+        for node_id in range(n):
+            result_path = str(Path(scratch) / f"replica-{node_id}.json")
+            result_paths.append(result_path)
+            spec = {
+                "node_id": node_id,
+                "ports": {str(node): port for node, port in ports.items()},
+                "epoch": epoch,
+                "end_time": config.end_time,
+                "seed": config.seed,
+                "protocol": config.protocol.to_dict(),
+                "result_path": result_path,
+            }
+            process = context.Process(
+                target=replica_main, args=(spec,), daemon=True
+            )
+            process.start()
+            processes.append(process)
+
+        emitted_tx = asyncio.run(run_client(config, ports, epoch))
+
+        deadline = epoch + config.end_time + JOIN_SLACK
+        failures = []
+        for process in processes:
+            process.join(timeout=max(0.5, deadline - time.time()))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+                if process.is_alive():  # pragma: no cover - last resort
+                    process.kill()
+                    process.join()
+                failures.append(f"replica pid {process.pid} hung; killed")
+            elif process.exitcode not in (0, -15):
+                failures.append(
+                    f"replica pid {process.pid} exited {process.exitcode}"
+                )
+
+        replica_results = []
+        for node_id, result_path in enumerate(result_paths):
+            try:
+                with open(result_path, encoding="utf-8") as handle:
+                    replica_results.append(json.load(handle))
+            except (OSError, ValueError):
+                failures.append(f"replica {node_id} produced no result file")
+
+    if not replica_results:
+        raise RuntimeError(
+            "live run produced no replica results: " + "; ".join(failures)
+        )
+
+    result = _merge(
+        config, replica_results, emitted_tx,
+        wall_clock_s=time.perf_counter() - started,
+    )
+    for failure in failures:
+        result.violations.append(Violation(
+            oracle="live-runtime", kind="process", time=config.end_time,
+            message=failure,
+        ))
+    return result

@@ -1,0 +1,201 @@
+"""One live replica: the OS-process entry point.
+
+``replica_main`` is the target handed to ``multiprocessing`` (spawn
+context — nothing here may rely on inherited state). It rebuilds the
+exact stack :func:`repro.harness.runner.build_experiment` wires in-sim —
+``Replica`` + mempool class + consensus class from the same registries —
+but on the live backends: :class:`RealtimeScheduler` over asyncio and
+:class:`LiveNetwork` over TCP. No protocol code is forked.
+
+Differences from the sim wiring, all environmental:
+
+* every process seeds its own ``random.Random`` from ``(seed, node_id)``
+  instead of drawing a stream from the run-wide registry;
+* the native mempool's :class:`SharedPendingPool` is per-process — in-sim
+  it is a run-wide object, which no real deployment can have. Clients
+  submit to every replica, so rotating leaders still find transactions;
+* commits are recorded by *every* replica into its local
+  :class:`MetricsHub`; the orchestrator deduplicates by block id when
+  merging, recovering the sim's first-commit semantics.
+
+On exit the process writes one JSON document (metrics + recorded
+commit/microblock events for oracle replay) to ``spec["result_path"]``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import signal
+import time
+
+from repro.config import ProtocolConfig
+from repro.consensus import CONSENSUS_CLASSES
+from repro.live.network import LiveNetwork
+from repro.live.scheduler import RealtimeScheduler
+from repro.live.wire import to_wire
+from repro.mempool import MEMPOOL_CLASSES, NativeMempool, SharedPendingPool
+from repro.metrics import MetricsHub
+from repro.replica import Replica
+from repro.sim.interfaces import Scheduler
+
+#: Extra wall-clock seconds a replica keeps serving after ``end_time``,
+#: letting in-flight commits from slower peers drain before shutdown.
+SHUTDOWN_GRACE = 0.5
+
+
+class RecordingMetricsHub(MetricsHub):
+    """MetricsHub that additionally keys latency pairs by block id.
+
+    The orchestrator deduplicates commits *across* replicas by block id;
+    to rebuild the merged latency digest it needs the winning commit's
+    own ``(latency, weight)`` pairs, which the base hub flattens away.
+    """
+
+    def __init__(self, sim: Scheduler) -> None:
+        super().__init__(sim)
+        self.commit_latencies: dict[int, list[tuple[float, float]]] = {}
+
+    def record_commit(self, block_id, tx_count, microblock_count,
+                      latencies, commit_time=None) -> bool:
+        fresh = super().record_commit(
+            block_id, tx_count, microblock_count, latencies, commit_time
+        )
+        if fresh:
+            self.commit_latencies[block_id] = [
+                (latency, weight) for latency, weight in latencies
+            ]
+        return fresh
+
+
+class LiveRecorder:
+    """Replica observer capturing wire-encoded protocol events.
+
+    The orchestrator replays the merged, time-sorted event stream from
+    all replicas through the real :class:`repro.verification` oracles
+    (see :mod:`repro.live.verify`). Encoding through :func:`to_wire`
+    keeps the record JSON-able and double-checks event purity.
+    ``on_block_resolved`` is not recorded: ``Block`` objects are local
+    assembly state, not wire data, and no live oracle consumes them.
+    """
+
+    def __init__(self, scheduler: Scheduler, node_id: int) -> None:
+        self._scheduler = scheduler
+        self._node_id = node_id
+        self.events: list[dict] = []
+
+    def on_local_commit(self, replica, proposal) -> None:
+        self.events.append({
+            "t": self._scheduler.now,
+            "node": self._node_id,
+            "kind": "commit",
+            "data": to_wire(proposal),
+        })
+
+    def on_microblock_created(self, replica, microblock) -> None:
+        self.events.append({
+            "t": self._scheduler.now,
+            "node": self._node_id,
+            "kind": "mb",
+            "data": to_wire(microblock),
+        })
+
+    def on_block_resolved(self, replica, block) -> None:
+        pass
+
+
+def build_replica(
+    spec: dict, scheduler: Scheduler, network: LiveNetwork
+) -> tuple[Replica, LiveRecorder]:
+    """Wire one replica from a spawn spec (mirrors ``build_experiment``)."""
+    protocol = ProtocolConfig.from_dict(spec["protocol"])
+    node_id = spec["node_id"]
+    metrics = RecordingMetricsHub(scheduler)
+    replica = Replica(
+        node_id=node_id,
+        config=protocol,
+        sim=scheduler,
+        network=network,
+        rng=random.Random((spec["seed"] << 16) | node_id),
+        metrics=metrics,
+        leader_set=tuple(range(protocol.n)),
+    )
+    mempool_cls = MEMPOOL_CLASSES[protocol.mempool]
+    if issubclass(mempool_cls, NativeMempool):
+        mempool = mempool_cls(
+            replica, protocol, SharedPendingPool(protocol.tx_payload)
+        )
+    else:
+        mempool = mempool_cls(replica, protocol)
+    consensus = CONSENSUS_CLASSES[protocol.consensus](
+        replica, mempool, protocol
+    )
+    replica.attach(mempool, consensus)
+    recorder = LiveRecorder(scheduler, node_id)
+    replica.observer = recorder
+    network.client_handler = (
+        lambda envelope: replica.on_client_batch(envelope.payload)
+    )
+    return replica, recorder
+
+
+async def _run(spec: dict) -> dict:
+    loop = asyncio.get_running_loop()
+    scheduler = RealtimeScheduler(loop, epoch=spec["epoch"])
+    ports = {int(node): port for node, port in spec["ports"].items()}
+    network = LiveNetwork(spec["node_id"], ports, scheduler)
+    await network.start()
+
+    replica, recorder = build_replica(spec, scheduler, network)
+
+    stop = asyncio.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+
+    # All processes share the epoch; starting consensus at t=0 on each
+    # replica keeps their view timers roughly in phase.
+    start_delay = spec["epoch"] - time.time()
+    if start_delay > 0:
+        await asyncio.sleep(start_delay)
+    replica.start()
+
+    remaining = spec["end_time"] + SHUTDOWN_GRACE - scheduler.now
+    if remaining > 0:
+        try:
+            await asyncio.wait_for(stop.wait(), timeout=remaining)
+        except asyncio.TimeoutError:
+            pass
+
+    replica.consensus.suspend()
+    await network.close()
+
+    metrics = replica.metrics
+    return {
+        "node_id": spec["node_id"],
+        "commits": [
+            {
+                "block_id": rec.block_id,
+                "commit_time": rec.commit_time,
+                "tx_count": rec.tx_count,
+                "microblock_count": rec.microblock_count,
+                "latencies": metrics.commit_latencies.get(rec.block_id, []),
+            }
+            for rec in metrics.commits
+        ],
+        "view_changes": metrics.view_change_count,
+        "bytes_in": network.bytes_in,
+        "bytes_out": network.bytes_out,
+        "messages_delivered": network.stats.messages_delivered,
+        "events": recorder.events,
+    }
+
+
+def replica_main(spec: dict) -> None:
+    """Process entry point: run one replica, write its result JSON."""
+    result = asyncio.run(_run(spec))
+    with open(spec["result_path"], "w", encoding="utf-8") as handle:
+        json.dump(result, handle)

@@ -1,0 +1,80 @@
+"""Wall-clock :class:`Scheduler` backend over an asyncio event loop."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Optional
+
+from repro.sim.interfaces import Scheduler
+
+
+class LiveTimer:
+    """Cancellable handle over ``loop.call_later`` (:class:`TimerHandle`)."""
+
+    __slots__ = ("_handle", "_deadline", "_fired")
+
+    def __init__(self) -> None:
+        self._handle: Optional[asyncio.TimerHandle] = None
+        self._deadline = 0.0
+        self._fired = False
+
+    @property
+    def deadline(self) -> float:
+        return self._deadline
+
+    @property
+    def active(self) -> bool:
+        return not self._fired and not (
+            self._handle is not None and self._handle.cancelled()
+        )
+
+    def cancel(self) -> None:
+        if self._fired or self._handle is None:
+            return
+        self._handle.cancel()
+
+
+class RealtimeScheduler(Scheduler):
+    """Seconds-since-epoch clock plus asyncio-backed timers.
+
+    ``epoch`` is a wall-clock (``time.time``) instant shared by every
+    process in a live run, so ``now`` is directly comparable across
+    replicas and the client — commit latency is ``commit_time`` on the
+    leader minus ``mean_arrival`` stamped by the client. The millisecond
+    skew this tolerates is far below the network delays being measured.
+
+    Timers ride the asyncio loop, so callbacks run on the loop's thread
+    exactly like simulator callbacks run on the event-loop "thread":
+    protocol code needs no locks in either backend.
+    """
+
+    def __init__(
+        self, loop: asyncio.AbstractEventLoop, epoch: Optional[float] = None
+    ) -> None:
+        self._loop = loop
+        self.epoch = time.time() if epoch is None else epoch
+
+    @property
+    def now(self) -> float:
+        return time.time() - self.epoch
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> LiveTimer:
+        """Run ``callback`` after ``delay`` seconds of wall-clock time.
+
+        Unlike the simulator, a (small) negative delay is clamped to zero
+        rather than rejected: with a real clock, "now" has already moved
+        by the time the caller computed its delay.
+        """
+        timer = LiveTimer()
+        timer._deadline = self.now + max(0.0, delay)
+
+        def fire() -> None:
+            timer._fired = True
+            callback()
+
+        timer._handle = self._loop.call_later(max(0.0, delay), fire)
+        return timer
+
+    def schedule_at(self, time_: float, callback: Callable[[], None]) -> LiveTimer:
+        return self.schedule(time_ - self.now, callback)

@@ -1,0 +1,247 @@
+"""Wire codec for the live runtime.
+
+Every message crossing a live TCP connection is one *frame*:
+
+.. code-block:: text
+
+    +----------------+----------------------------------------+
+    | 4-byte big-    | UTF-8 JSON document                    |
+    | endian length  | {"src", "kind", "ch", "p"}             |
+    +----------------+----------------------------------------+
+
+``p`` is the protocol payload encoded *structurally*: plain scalars pass
+through, tuples and registered dataclasses become tagged objects
+(``{"__t__": <tag>, "v": ...}``) so that ``from_wire(to_wire(m)) == m``
+holds exactly — including tuple-ness, which the protocol relies on for
+hashable payload fields.
+
+The codec doubles as the purity assertion demanded by the live runtime:
+only scalars, lists/tuples/dicts, and the registered pure-data classes
+below are encodable. A message smuggling a simulator handle, timer, or
+any other live object raises :class:`WireError` at send time instead of
+corrupting a peer.
+
+JSON (stdlib) rather than msgpack: the environment ships no third-party
+serializer, and the framing keeps the codec swappable — only this module
+knows the byte format.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import fields, is_dataclass
+from typing import Any, Iterator, Optional
+
+from repro.crypto.certificates import QuorumCert
+from repro.crypto.proofs import AvailabilityProof
+from repro.crypto.signatures import Signature
+from repro.mempool.base import MessageKinds
+from repro.sim.interfaces import Channel
+from repro.types.batch import TxBatch
+from repro.types.microblock import MicroBlock
+from repro.types.proposal import Payload, PayloadEntry, Proposal
+
+__all__ = [
+    "WireError",
+    "WIRE_TYPES",
+    "MESSAGE_REGISTRY",
+    "CLIENT_BATCH",
+    "to_wire",
+    "from_wire",
+    "encode_frame",
+    "decode_frame",
+    "FrameDecoder",
+]
+
+
+class WireError(ValueError):
+    """Raised when an object cannot cross the wire (or a frame is bad)."""
+
+
+#: Pure-data classes allowed on the wire, keyed by their tag. Everything
+#: here must be a dataclass whose fields are themselves encodable —
+#: that closure property is what the purity assertion enforces.
+WIRE_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        Signature,
+        QuorumCert,
+        AvailabilityProof,
+        MicroBlock,
+        TxBatch,
+        PayloadEntry,
+        Payload,
+        Proposal,
+    )
+}
+
+#: Synthetic kind for client->replica workload submission; replicas
+#: route it to ``Mempool.on_client_batch`` (it never exists in-sim,
+#: where the workload generator calls the mempool directly).
+CLIENT_BATCH = "client.batch"
+
+#: Every message kind that crosses the live network, mapped to the
+#: payload classes its top-level object may contain. Used by the
+#: round-trip property tests to sweep the full vocabulary; the codec
+#: itself is structural and does not consult this table.
+MESSAGE_REGISTRY: dict[str, tuple[type, ...]] = {
+    MessageKinds.MICROBLOCK: (MicroBlock,),
+    MessageKinds.MICROBLOCK_GOSSIP: (MicroBlock,),
+    MessageKinds.MICROBLOCK_FETCH: (MicroBlock,),
+    MessageKinds.MICROBLOCK_FORWARD: (MicroBlock,),
+    MessageKinds.ACK: (Signature,),
+    MessageKinds.PROOF: (tuple,),          # (mb_id, AvailabilityProof)
+    MessageKinds.FETCH_REQUEST: (int,),    # mb_id
+    MessageKinds.RB_ECHO: (int,),          # mb_id
+    MessageKinds.RB_READY: (int,),         # mb_id
+    MessageKinds.LB_QUERY: (int,),         # query token
+    MessageKinds.LB_INFO: (tuple,),        # (token, load)
+    MessageKinds.PROPOSAL: (Proposal, tuple),  # PBFT wraps: (seq, Proposal)
+    MessageKinds.VOTE: (tuple,),           # (block_id[, view], Signature)
+    MessageKinds.NEW_VIEW: (tuple,),       # (view, QuorumCert)
+    MessageKinds.SYNC_REQUEST: (int,),     # block_id
+    MessageKinds.PBFT_PREPARE: (tuple,),   # (seq, node_id)
+    MessageKinds.PBFT_COMMIT: (tuple,),    # (seq, node_id)
+    CLIENT_BATCH: (TxBatch,),
+}
+
+
+# -- structural payload codec ------------------------------------------------
+
+def to_wire(obj: Any) -> Any:
+    """Encode a payload object into JSON-able form.
+
+    Raises :class:`WireError` for any object outside the pure-data
+    vocabulary — this is the codec's purity assertion.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # json.dumps(allow_nan=False) would catch these too, but failing
+        # here names the offending value instead of the whole frame.
+        if obj != obj or obj in (float("inf"), float("-inf")):
+            raise WireError(f"non-finite float on the wire: {obj!r}")
+        return obj
+    if isinstance(obj, tuple):
+        return {"__t__": "tuple", "v": [to_wire(item) for item in obj]}
+    if isinstance(obj, list):
+        return [to_wire(item) for item in obj]
+    if isinstance(obj, dict):
+        # Tagged pair list: JSON objects only take string keys, and
+        # protocol dicts (if any appear) are keyed by ints.
+        return {
+            "__t__": "dict",
+            "v": [[to_wire(k), to_wire(v)] for k, v in obj.items()],
+        }
+    cls = type(obj)
+    tag = cls.__name__
+    if WIRE_TYPES.get(tag) is cls and is_dataclass(obj):
+        return {
+            "__t__": tag,
+            "v": {
+                f.name: to_wire(getattr(obj, f.name)) for f in fields(obj)
+            },
+        }
+    raise WireError(
+        f"{cls.__module__}.{cls.__qualname__} is not a wire type; "
+        "wire messages must be pure data (register the class in "
+        "repro.live.wire.WIRE_TYPES if it is)"
+    )
+
+
+def from_wire(obj: Any) -> Any:
+    """Decode the output of :func:`to_wire` back into payload objects."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, list):
+        return [from_wire(item) for item in obj]
+    if isinstance(obj, dict):
+        tag = obj.get("__t__")
+        value = obj.get("v")
+        if tag == "tuple":
+            return tuple(from_wire(item) for item in value)
+        if tag == "dict":
+            return {from_wire(k): from_wire(v) for k, v in value}
+        cls = WIRE_TYPES.get(tag)
+        if cls is None:
+            raise WireError(f"unknown wire tag {tag!r}")
+        return cls(**{name: from_wire(item) for name, item in value.items()})
+    raise WireError(f"undecodable wire object: {obj!r}")
+
+
+# -- framing -----------------------------------------------------------------
+
+_LENGTH = struct.Struct(">I")
+
+#: Upper bound on a single frame. Generously above any real message
+#: (proposals reference microblocks rather than embedding bodies); its
+#: job is to fail fast when a desynced stream yields a garbage length.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+
+def encode_frame(
+    src: int, kind: str, channel: Channel, payload: Any
+) -> bytes:
+    """Serialize one message into a length-prefixed frame."""
+    document = {
+        "src": src,
+        "kind": kind,
+        "ch": channel.value,
+        "p": to_wire(payload),
+    }
+    body = json.dumps(
+        document, allow_nan=False, separators=(",", ":")
+    ).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame too large: {len(body)} bytes")
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> tuple[int, str, Channel, Any]:
+    """Decode one frame body (length prefix already stripped)."""
+    try:
+        document = json.loads(body.decode("utf-8"))
+        return (
+            document["src"],
+            document["kind"],
+            Channel(document["ch"]),
+            from_wire(document["p"]),
+        )
+    except WireError:
+        raise
+    except (ValueError, KeyError, TypeError) as exc:
+        raise WireError(f"malformed frame: {exc}") from exc
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over an arbitrary byte stream.
+
+    Feed whatever chunks the socket yields; iterate the completed
+    messages. Partial frames are buffered across feeds.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> Iterator[tuple[int, str, Channel, Any]]:
+        self._buffer.extend(data)
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return
+            yield decode_frame(frame)
+
+    def _next_frame(self) -> Optional[bytes]:
+        buffer = self._buffer
+        if len(buffer) < _LENGTH.size:
+            return None
+        (length,) = _LENGTH.unpack_from(buffer)
+        if length > MAX_FRAME_BYTES:
+            raise WireError(f"frame length {length} exceeds limit (desync?)")
+        end = _LENGTH.size + length
+        if len(buffer) < end:
+            return None
+        frame = bytes(buffer[_LENGTH.size:end])
+        del buffer[:end]
+        return frame

@@ -21,7 +21,7 @@ import abc
 from typing import Callable, TYPE_CHECKING
 
 from repro.config import ProtocolConfig
-from repro.sim.network import Channel, Envelope
+from repro.sim.interfaces import Channel, Envelope
 from repro.types import TxBatch
 from repro.types.proposal import Block, Payload, Proposal
 

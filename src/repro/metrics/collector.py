@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.metrics.digest import WeightedDigest
-from repro.sim.engine import Simulator
+from repro.sim.interfaces import Scheduler
 
 
 @dataclass
@@ -50,7 +50,7 @@ class FaultWindow:
 class MetricsHub:
     """Aggregates commits, latencies, and protocol events for one run."""
 
-    def __init__(self, sim: Simulator) -> None:
+    def __init__(self, sim: Scheduler) -> None:
         self._sim = sim
         self._commits: dict[int, CommitRecord] = {}
         # Commit-time order is maintained incrementally: commits arrive
@@ -202,6 +202,15 @@ class MetricsHub:
     @property
     def latency(self) -> WeightedDigest:
         return self._latency
+
+    @property
+    def latency_samples(self) -> list[tuple[float, float, float]]:
+        """Raw ``(commit_time, latency, tx_weight)`` samples.
+
+        The live runtime ships these across process boundaries so the
+        orchestrator can rebuild windowed digests after merging runs.
+        """
+        return list(self._latency_samples)
 
     @property
     def stable_times(self) -> WeightedDigest:

@@ -8,8 +8,7 @@ from typing import Optional, TYPE_CHECKING
 from repro.config import ProtocolConfig
 from repro.metrics import MetricsHub
 from repro.replica.behavior import Behavior, HonestBehavior, SilentReplica
-from repro.sim.engine import Simulator
-from repro.sim.network import Envelope, Network
+from repro.sim.interfaces import Envelope, Scheduler, Transport
 from repro.types import TxBatch
 from repro.types.proposal import Block
 
@@ -31,8 +30,8 @@ class Replica:
         self,
         node_id: int,
         config: ProtocolConfig,
-        sim: Simulator,
-        network: Network,
+        sim: Scheduler,
+        network: Transport,
         rng: random.Random,
         metrics: MetricsHub,
         behavior: Optional[Behavior] = None,

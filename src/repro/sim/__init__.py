@@ -6,6 +6,7 @@ every protocol in :mod:`repro` runs.
 """
 
 from repro.sim.engine import Event, Simulator, Timer
+from repro.sim.interfaces import Envelope, Scheduler, TimerHandle, Transport
 from repro.sim.rng import RngRegistry
 from repro.sim.topology import (
     DelaySchedule,
@@ -21,6 +22,10 @@ __all__ = [
     "Event",
     "Simulator",
     "Timer",
+    "Scheduler",
+    "TimerHandle",
+    "Transport",
+    "Envelope",
     "RngRegistry",
     "Topology",
     "DelaySchedule",

@@ -29,6 +29,8 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Optional
 
+from repro.sim.interfaces import Scheduler
+
 #: Compaction never triggers below this queue size: rebuilding a tiny
 #: heap costs more bookkeeping than the dead entries are worth.
 _COMPACT_MIN_QUEUE = 64
@@ -94,7 +96,7 @@ class Timer:
         self._sim._note_cancelled()
 
 
-class Simulator:
+class Simulator(Scheduler):
     """Single-threaded deterministic event loop.
 
     The clock unit is seconds (floats). ``now`` is only advanced by the

@@ -1,0 +1,191 @@
+"""The scheduler/transport seam between protocol code and its runtime.
+
+Every protocol component (replica, consensus engine, mempool) interacts
+with its environment through exactly two narrow surfaces:
+
+* :class:`Scheduler` — a clock (``now``) plus cancellable timers
+  (``schedule`` / ``schedule_at`` returning a :class:`TimerHandle`);
+* :class:`Transport` — point-to-point ``send`` and fan-out ``broadcast``
+  of :class:`Envelope` messages to registered per-node handlers.
+
+Two backends satisfy the seam:
+
+* the deterministic discrete-event pair
+  (:class:`repro.sim.engine.Simulator`,
+  :class:`repro.sim.network.Network`), under which every experiment is
+  bit-for-bit reproducible; and
+* the live pair (:class:`repro.live.scheduler.RealtimeScheduler`,
+  :class:`repro.live.network.LiveNetwork`), which runs the *same*
+  protocol classes over real asyncio TCP sockets, one OS process per
+  replica.
+
+Keeping the seam this small is what lets the unmodified consensus +
+mempool stack run on either backend (the Bamboo/Narwhal "pluggable
+transport" pattern). Protocol code must never import simulator or
+asyncio internals directly — only this module.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+
+class Channel(enum.Enum):
+    """Egress/ingress priority classes (Section VI, "Optimizations").
+
+    CONSENSUS carries proposals and votes; CONTROL carries small protocol
+    messages (acks, proofs, fetch requests, load queries) that must not
+    sit behind bulk transfers; DATA carries microblock bodies. Priority
+    is strict in enum order. The simulated network enforces the priority
+    on a modeled uplink; the live transport maps every class onto the
+    same TCP stream (per-peer FIFO) and keeps the class only for
+    accounting.
+    """
+
+    CONSENSUS = 0
+    CONTROL = 1
+    DATA = 2
+
+
+class Envelope:
+    """A network-level message.
+
+    ``payload`` is an arbitrary protocol object; the transport only looks
+    at ``size_bytes`` (for serialization time or framing) and ``kind``
+    (for routing and accounting). A ``__slots__`` class rather than a
+    dataclass: envelopes are minted once per (message, recipient) pair,
+    squarely on the hot path.
+    """
+
+    __slots__ = (
+        "src", "dst", "kind", "size_bytes", "payload", "channel",
+        "enqueued_at",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        size_bytes: float,
+        payload: object,
+        channel: Channel = Channel.DATA,
+        enqueued_at: float = 0.0,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.size_bytes = size_bytes
+        self.payload = payload
+        self.channel = channel
+        self.enqueued_at = enqueued_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Envelope({self.src}->{self.dst}, {self.kind!r}, "
+            f"{self.size_bytes:.0f}B, {self.channel.name})"
+        )
+
+
+Handler = Callable[[Envelope], None]
+
+
+@runtime_checkable
+class TimerHandle(Protocol):
+    """Cancellable handle for a scheduled callback.
+
+    ``active`` is True only while the callback can still fire; cancelling
+    an already-fired or already-cancelled timer must be a no-op so
+    protocol cleanup paths can cancel unconditionally.
+    """
+
+    @property
+    def deadline(self) -> float: ...
+
+    @property
+    def active(self) -> bool: ...
+
+    def cancel(self) -> None: ...
+
+
+class Scheduler(abc.ABC):
+    """A clock plus cancellable one-shot timers.
+
+    The clock unit is seconds (floats) since the run's origin. Under the
+    simulator ``now`` only advances inside the event loop; under the live
+    backend it tracks wall-clock time relative to the cluster epoch.
+    Callbacks run on the owning event loop's thread in both backends, so
+    protocol code never needs locks.
+    """
+
+    @property
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time in seconds since the run's origin."""
+
+    @abc.abstractmethod
+    def schedule(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        """Run ``callback`` after ``delay`` seconds; returns a timer handle."""
+
+    @abc.abstractmethod
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> TimerHandle:
+        """Run ``callback`` at absolute time ``time``; returns a timer handle."""
+
+
+class Transport(abc.ABC):
+    """Message fabric connecting ``n`` replicas.
+
+    Implementations must preserve per-(src, dst) FIFO ordering for
+    delivered messages — protocol recovery paths (PAB body-before-proof,
+    chain sync) rely on it — but may drop messages entirely (loss,
+    crashed endpoints). Handlers are invoked synchronously on the
+    scheduler's event-loop thread.
+    """
+
+    @abc.abstractmethod
+    def register(self, node: int, handler: Handler) -> None:
+        """Attach the message handler for ``node``."""
+
+    @abc.abstractmethod
+    def send(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        size_bytes: float,
+        payload: object,
+        channel: Channel = Channel.DATA,
+    ) -> None:
+        """Queue one message from ``src`` to ``dst``."""
+
+    @abc.abstractmethod
+    def broadcast(
+        self,
+        src: int,
+        kind: str,
+        size_bytes: float,
+        payload: object,
+        channel: Channel = Channel.DATA,
+        recipients: Optional[list[int]] = None,
+        include_self: bool = False,
+    ) -> None:
+        """Send one copy per recipient (defaults to every other replica)."""
+
+    # -- endpoint lifecycle (crash-recovery model) -----------------------
+
+    def set_node_down(self, node: int) -> None:
+        """Crash ``node``'s endpoint (default: unsupported, no-op).
+
+        The simulated network models this precisely (queue flushes,
+        in-flight discards); the live transport's equivalent is killing
+        the replica's process, so the default implementation does
+        nothing.
+        """
+
+    def set_node_up(self, node: int) -> None:
+        """Re-register a crashed node's endpoint (default: no-op)."""
+
+    def is_down(self, node: int) -> bool:
+        return False

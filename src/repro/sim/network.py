@@ -20,29 +20,19 @@ bucket throttles the data class, reproducing the sending-rate limiter.
 
 from __future__ import annotations
 
-import enum
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.sim.engine import Simulator
+from repro.sim.interfaces import Channel, Envelope, Handler, Transport
 from repro.sim.rng import RngRegistry
 from repro.sim.topology import Topology, transmission_time
 
-
-class Channel(enum.Enum):
-    """Egress/ingress priority classes (Section VI, "Optimizations").
-
-    CONSENSUS carries proposals and votes; CONTROL carries small protocol
-    messages (acks, proofs, fetch requests, load queries) that must not
-    sit behind bulk transfers; DATA carries microblock bodies. Priority
-    is strict in enum order.
-    """
-
-    CONSENSUS = 0
-    CONTROL = 1
-    DATA = 2
-
+__all__ = [
+    "Channel", "Envelope", "Handler", "NetworkStats", "TokenBucket",
+    "Network",
+]
 
 # Queue indexes for the per-channel FIFOs below. The uplink/ingress hot
 # loops index lists with these ints instead of hashing enum members —
@@ -50,45 +40,6 @@ class Channel(enum.Enum):
 _CONSENSUS = Channel.CONSENSUS.value
 _CONTROL = Channel.CONTROL.value
 _DATA = Channel.DATA.value
-
-
-class Envelope:
-    """A network-level message.
-
-    ``payload`` is an arbitrary protocol object; the network only looks at
-    ``size_bytes`` (for serialization time) and ``kind`` (for accounting).
-    A ``__slots__`` class rather than a dataclass: envelopes are minted
-    once per (message, recipient) pair, squarely on the hot path.
-    """
-
-    __slots__ = (
-        "src", "dst", "kind", "size_bytes", "payload", "channel",
-        "enqueued_at",
-    )
-
-    def __init__(
-        self,
-        src: int,
-        dst: int,
-        kind: str,
-        size_bytes: float,
-        payload: object,
-        channel: Channel = Channel.DATA,
-        enqueued_at: float = 0.0,
-    ) -> None:
-        self.src = src
-        self.dst = dst
-        self.kind = kind
-        self.size_bytes = size_bytes
-        self.payload = payload
-        self.channel = channel
-        self.enqueued_at = enqueued_at
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"Envelope({self.src}->{self.dst}, {self.kind!r}, "
-            f"{self.size_bytes:.0f}B, {self.channel.name})"
-        )
 
 
 @dataclass
@@ -295,11 +246,10 @@ class _Ingress:
         self._process_next()
 
 
-Handler = Callable[[Envelope], None]
 DropFilter = Callable[[Envelope], bool]
 
 
-class Network:
+class Network(Transport):
     """Message router connecting all replicas over a :class:`Topology`."""
 
     def __init__(

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Optional, Protocol, Sequence
 
-from repro.sim.engine import Simulator, Timer
+from repro.sim.interfaces import Scheduler, TimerHandle
 from repro.types import TxBatch
 
 
@@ -29,7 +29,7 @@ class WorkloadGenerator:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Scheduler,
         replicas: Sequence[_Receiver],
         rate_tps: float,
         tx_payload: int,
@@ -54,7 +54,7 @@ class WorkloadGenerator:
         self._tick = tick
         self._carry = [0.0] * len(replicas)
         self._emitted = 0
-        self._timer: Optional[Timer] = None
+        self._timer: Optional[TimerHandle] = None
         self._stopped = False
 
     @property

@@ -1,0 +1,232 @@
+"""Live runtime tests: scheduler/transport units, oracle replay, and the
+4-replica localhost smoke runs demanded by the acceptance criteria."""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.config import ProtocolConfig
+from repro.harness.config import ExperimentConfig
+from repro.live.network import LiveNetwork
+from repro.live.orchestrator import (
+    LiveConfig,
+    allocate_ports,
+    run_live,
+)
+from repro.live.scheduler import RealtimeScheduler
+from repro.live.verify import verify_events
+from repro.live.wire import to_wire
+from repro.mempool.base import MessageKinds
+from repro.sim.interfaces import Channel, Scheduler, Transport
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.types.microblock import MicroBlock
+from repro.types.proposal import Payload, Proposal
+from repro.crypto.certificates import QuorumCert
+
+
+# -- the seam ----------------------------------------------------------------
+
+def test_sim_backends_satisfy_the_seam():
+    assert issubclass(Simulator, Scheduler)
+    assert issubclass(Network, Transport)
+    assert issubclass(RealtimeScheduler, Scheduler)
+    assert issubclass(LiveNetwork, Transport)
+
+
+# -- realtime scheduler ------------------------------------------------------
+
+def test_realtime_scheduler_clock_tracks_epoch():
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        scheduler = RealtimeScheduler(loop, epoch=time.time() - 5.0)
+        assert 4.9 < scheduler.now < 5.5
+
+    asyncio.run(scenario())
+
+
+def test_realtime_scheduler_fires_and_cancels_timers():
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        scheduler = RealtimeScheduler(loop)
+        fired = []
+        keep = scheduler.schedule(0.01, lambda: fired.append("keep"))
+        drop = scheduler.schedule(0.01, lambda: fired.append("drop"))
+        drop.cancel()
+        assert keep.active and not drop.active
+        await asyncio.sleep(0.05)
+        assert fired == ["keep"]
+        assert not keep.active  # fired timers stop reporting active
+        keep.cancel()  # cancelling a fired timer is a no-op
+
+    asyncio.run(scenario())
+
+
+def test_realtime_scheduler_clamps_negative_delay():
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        scheduler = RealtimeScheduler(loop)
+        fired = []
+        scheduler.schedule_at(scheduler.now - 10.0, lambda: fired.append(1))
+        await asyncio.sleep(0.02)
+        assert fired == [1]
+
+    asyncio.run(scenario())
+
+
+# -- live network ------------------------------------------------------------
+
+def test_live_network_delivers_between_two_endpoints():
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        ports = allocate_ports(2)
+        scheduler = RealtimeScheduler(loop)
+        alice = LiveNetwork(0, ports, scheduler)
+        bob = LiveNetwork(1, ports, scheduler)
+        received = []
+        alice.register(0, lambda env: received.append(("alice", env)))
+        bob.register(1, lambda env: received.append(("bob", env)))
+        await alice.start()
+        await bob.start()
+
+        for sequence in range(5):
+            alice.send(0, 1, MessageKinds.FETCH_REQUEST, 8, sequence,
+                       Channel.CONTROL)
+        alice.send(0, 0, MessageKinds.RB_ECHO, 8, 99)  # loopback
+        bob.broadcast(1, MessageKinds.RB_READY, 8, 7)
+
+        deadline = loop.time() + 5.0
+        while len(received) < 7 and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        await alice.close()
+        await bob.close()
+
+        bob_got = [env.payload for who, env in received if who == "bob"
+                   and env.kind == MessageKinds.FETCH_REQUEST]
+        assert bob_got == [0, 1, 2, 3, 4]  # per-peer FIFO preserved
+        alice_got = [(env.kind, env.payload, env.src)
+                     for who, env in received if who == "alice"]
+        assert (MessageKinds.RB_ECHO, 99, 0) in alice_got  # loopback
+        assert (MessageKinds.RB_READY, 7, 1) in alice_got  # broadcast
+        assert alice.bytes_out > 0 and bob.bytes_in > 0
+
+    asyncio.run(scenario())
+
+
+def test_live_network_rejects_foreign_registration():
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        network = LiveNetwork(0, allocate_ports(2), RealtimeScheduler(loop))
+        with pytest.raises(ValueError, match="cannot host"):
+            network.register(1, lambda env: None)
+
+    asyncio.run(scenario())
+
+
+def test_live_network_send_asserts_purity():
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        ports = allocate_ports(2)
+        network = LiveNetwork(0, ports, RealtimeScheduler(loop))
+        await network.start(listen=False)
+        from repro.live.wire import WireError
+
+        with pytest.raises(WireError, match="pure data"):
+            network.send(0, 1, MessageKinds.MICROBLOCK, 8, object())
+        await network.close()
+
+    asyncio.run(scenario())
+
+
+# -- oracle replay -----------------------------------------------------------
+
+def _proposal(block_id, height, parent_id, proposer=0, mb_ids=()):
+    return Proposal(
+        block_id=block_id, view=height, height=height, proposer=proposer,
+        parent_id=parent_id,
+        justify=QuorumCert(block_id=parent_id, view=0, signers=(0, 1, 2)),
+        payload=Payload(entries=()),
+        created_at=float(height),
+    )
+
+
+def _commit_event(t, node, proposal):
+    return {"t": t, "node": node, "kind": "commit", "data": to_wire(proposal)}
+
+
+def test_verify_events_accepts_consistent_chains():
+    chain = [_proposal(10, 1, 0), _proposal(11, 2, 10)]
+    events = [
+        _commit_event(float(i), node, prop)
+        for node in (0, 1)
+        for i, prop in enumerate(chain)
+    ]
+    assert verify_events(events, emitted_tx=0) == []
+
+
+def test_verify_events_flags_a_fork():
+    events = [
+        _commit_event(1.0, 0, _proposal(10, 1, 0)),
+        _commit_event(1.1, 1, _proposal(99, 1, 0)),  # same height, other block
+    ]
+    violations = verify_events(events, emitted_tx=0)
+    assert any(v.kind == "fork" for v in violations)
+
+
+def test_verify_events_flags_fabricated_microblocks():
+    mb = MicroBlock(id=77, origin=0, tx_count=5, tx_payload=128,
+                    created_at=0.5, sum_arrival=2.0)
+    committed = Proposal(
+        block_id=10, view=1, height=1, proposer=0, parent_id=0,
+        justify=QuorumCert(block_id=0, view=0, signers=(0, 1, 2)),
+        payload=Payload(entries=()), created_at=1.0,
+    )
+    committed.payload = Payload(
+        entries=tuple(), embedded=(mb,)
+    )
+    events = [_commit_event(1.0, 0, committed)]  # no creation event
+    violations = verify_events(events, emitted_tx=100)
+    assert any(v.kind == "fabricated" for v in violations)
+    # with the creation recorded, the same commit is clean
+    events = [
+        {"t": 0.5, "node": 0, "kind": "mb", "data": to_wire(mb)},
+        _commit_event(1.0, 0, committed),
+    ]
+    assert verify_events(events, emitted_tx=100) == []
+
+
+# -- 4-replica localhost smoke runs ------------------------------------------
+
+def _live_config(mempool, rate=300.0):
+    return LiveConfig(
+        experiment=ExperimentConfig(
+            protocol=ProtocolConfig(
+                n=4, mempool=mempool, consensus="hotstuff"
+            ),
+            rate_tps=rate,
+            duration=1.2,
+            warmup=0.5,
+            seed=7,
+            label=f"smoke-{mempool}",
+        ),
+        startup_grace=2.5,
+    )
+
+
+@pytest.mark.slow
+def test_live_smoke_hotstuff_stratus():
+    result = run_live(_live_config("stratus"))
+    assert result.committed_blocks >= 1
+    assert result.violations == []
+    assert result.committed_tx > 0
+    assert all(entry["bytes_in"] > 0 for entry in result.per_replica)
+    json.dumps(result.to_dict())  # the report must be JSON-able
+
+
+@pytest.mark.slow
+def test_live_smoke_hotstuff_native():
+    result = run_live(_live_config("native"))
+    assert result.committed_blocks >= 1
+    assert result.violations == []

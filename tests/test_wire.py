@@ -1,0 +1,220 @@
+"""Wire-codec tests: round-trips over the full message registry,
+purity rejection, and frame reassembly."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.certificates import QuorumCert
+from repro.crypto.proofs import AvailabilityProof
+from repro.crypto.signatures import Signature
+from repro.live.wire import (
+    CLIENT_BATCH,
+    MESSAGE_REGISTRY,
+    FrameDecoder,
+    WireError,
+    decode_frame,
+    encode_frame,
+    from_wire,
+    to_wire,
+)
+from repro.mempool.base import MessageKinds
+from repro.sim.engine import Simulator
+from repro.sim.interfaces import Channel
+from repro.types.batch import TxBatch
+from repro.types.microblock import MicroBlock
+from repro.types.proposal import Payload, PayloadEntry, Proposal
+
+# -- strategies generating every registered payload shape --------------------
+
+ids = st.integers(min_value=0, max_value=2**50)
+nodes = st.integers(min_value=0, max_value=63)
+times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                  allow_infinity=False)
+signer_sets = st.lists(nodes, min_size=1, max_size=7, unique=True).map(
+    lambda s: tuple(sorted(s))
+)
+
+signatures = st.builds(Signature, signer=nodes, digest=ids,
+                       forged=st.booleans())
+qcs = st.builds(QuorumCert, block_id=ids, view=st.integers(0, 1000),
+                signers=signer_sets)
+proofs = st.builds(AvailabilityProof, mb_id=ids, signers=signer_sets)
+microblocks = st.builds(
+    MicroBlock,
+    id=ids, origin=nodes,
+    tx_count=st.integers(min_value=1, max_value=10_000),
+    tx_payload=st.integers(min_value=1, max_value=4096),
+    created_at=times, sum_arrival=times,
+)
+batches = st.builds(
+    TxBatch,
+    count=st.integers(min_value=1, max_value=10_000),
+    payload_bytes=st.integers(min_value=1, max_value=4096),
+    mean_arrival=times,
+)
+entries = st.builds(PayloadEntry, mb_id=ids,
+                    proof=st.one_of(st.none(), proofs))
+payloads = st.builds(
+    Payload,
+    entries=st.lists(entries, max_size=4).map(tuple),
+    embedded=st.lists(microblocks, max_size=2).map(tuple),
+)
+proposals = st.builds(
+    Proposal,
+    block_id=ids, view=st.integers(0, 1000), height=st.integers(0, 10_000),
+    proposer=nodes, parent_id=ids, justify=qcs, payload=payloads,
+    created_at=times,
+)
+
+#: One strategy per registered message kind, matching the payload each
+#: kind actually carries on the wire.
+PAYLOADS_BY_KIND = {
+    MessageKinds.MICROBLOCK: microblocks,
+    MessageKinds.MICROBLOCK_GOSSIP: microblocks,
+    MessageKinds.MICROBLOCK_FETCH: microblocks,
+    MessageKinds.MICROBLOCK_FORWARD: microblocks,
+    MessageKinds.ACK: signatures,
+    MessageKinds.PROOF: st.tuples(ids, proofs),
+    MessageKinds.FETCH_REQUEST: ids,
+    MessageKinds.RB_ECHO: ids,
+    MessageKinds.RB_READY: ids,
+    MessageKinds.LB_QUERY: ids,
+    MessageKinds.LB_INFO: st.tuples(ids, times),
+    MessageKinds.PROPOSAL: st.one_of(
+        proposals, st.tuples(st.integers(0, 1000), proposals)
+    ),
+    MessageKinds.VOTE: st.one_of(
+        st.tuples(ids, st.integers(0, 1000), signatures),
+        st.tuples(ids, signatures),
+    ),
+    MessageKinds.NEW_VIEW: st.tuples(st.integers(0, 1000), qcs),
+    MessageKinds.SYNC_REQUEST: ids,
+    MessageKinds.PBFT_PREPARE: st.tuples(st.integers(0, 10_000), nodes),
+    MessageKinds.PBFT_COMMIT: st.tuples(st.integers(0, 10_000), nodes),
+    CLIENT_BATCH: batches,
+}
+
+any_message = st.sampled_from(sorted(MESSAGE_REGISTRY)).flatmap(
+    lambda kind: st.tuples(st.just(kind), PAYLOADS_BY_KIND[kind])
+)
+
+
+def test_registry_and_strategies_cover_the_same_kinds():
+    assert set(PAYLOADS_BY_KIND) == set(MESSAGE_REGISTRY)
+
+
+@given(any_message)
+@settings(max_examples=300)
+def test_payload_round_trip_over_full_registry(message):
+    _, payload = message
+    assert from_wire(to_wire(payload)) == payload
+
+
+@given(any_message, st.sampled_from(list(Channel)), nodes)
+@settings(max_examples=100)
+def test_frame_round_trip(message, channel, src):
+    kind, payload = message
+    frame = encode_frame(src, kind, channel, payload)
+    (length,) = struct.unpack(">I", frame[:4])
+    assert length == len(frame) - 4
+    got_src, got_kind, got_channel, got_payload = decode_frame(frame[4:])
+    assert (got_src, got_kind, got_channel) == (src, kind, channel)
+    assert got_payload == payload
+
+
+def test_tuples_survive_as_tuples():
+    decoded = from_wire(to_wire((1, (2, 3), [4, 5])))
+    assert decoded == (1, (2, 3), [4, 5])
+    assert isinstance(decoded, tuple)
+    assert isinstance(decoded[1], tuple)
+    assert isinstance(decoded[2], list)
+
+
+def test_int_keyed_dict_round_trips():
+    payload = {1: "a", 2: (3, 4)}
+    assert from_wire(to_wire(payload)) == payload
+
+
+# -- purity assertion --------------------------------------------------------
+
+def test_sim_timer_is_rejected():
+    sim = Simulator()
+    timer = sim.schedule(1.0, lambda: None)
+    with pytest.raises(WireError, match="pure data"):
+        to_wire(timer)
+
+
+def test_arbitrary_object_is_rejected():
+    class NotWire:
+        pass
+
+    with pytest.raises(WireError, match="pure data"):
+        to_wire(NotWire())
+    with pytest.raises(WireError, match="pure data"):
+        to_wire((1, NotWire()))  # nested inside a tuple
+
+
+def test_unregistered_dataclass_is_rejected():
+    import dataclasses
+
+    @dataclasses.dataclass
+    class Sneaky:
+        x: int = 1
+
+    with pytest.raises(WireError, match="pure data"):
+        to_wire(Sneaky())
+
+
+def test_non_finite_floats_are_rejected():
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(WireError, match="non-finite"):
+            to_wire(bad)
+
+
+def test_unknown_tag_is_rejected_on_decode():
+    with pytest.raises(WireError, match="unknown wire tag"):
+        from_wire({"__t__": "EvilType", "v": {}})
+
+
+# -- framing -----------------------------------------------------------------
+
+def _sample_frames(count):
+    return [
+        encode_frame(
+            node, MessageKinds.FETCH_REQUEST, Channel.CONTROL, node * 17
+        )
+        for node in range(count)
+    ]
+
+
+def test_frame_decoder_handles_byte_by_byte_feed():
+    frames = _sample_frames(3)
+    stream = b"".join(frames)
+    decoder = FrameDecoder()
+    messages = []
+    for i in range(len(stream)):
+        messages.extend(decoder.feed(stream[i:i + 1]))
+    assert [payload for _, _, _, payload in messages] == [0, 17, 34]
+
+
+def test_frame_decoder_handles_coalesced_frames():
+    frames = _sample_frames(5)
+    decoder = FrameDecoder()
+    messages = list(decoder.feed(b"".join(frames)))
+    assert len(messages) == 5
+    assert [src for src, _, _, _ in messages] == list(range(5))
+
+
+def test_frame_decoder_rejects_oversized_length_prefix():
+    decoder = FrameDecoder()
+    with pytest.raises(WireError, match="exceeds limit"):
+        list(decoder.feed(struct.pack(">I", 2**31) + b"xxxx"))
+
+
+def test_malformed_frame_body_raises_wire_error():
+    with pytest.raises(WireError, match="malformed"):
+        decode_frame(b"not json at all")
+    with pytest.raises(WireError, match="malformed"):
+        decode_frame(b'{"src": 1}')  # missing keys
