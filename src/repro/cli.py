@@ -32,7 +32,12 @@ same protocol stack as real OS processes over localhost TCP::
         --duration 10
 
 and exits non-zero if the cluster commits nothing or a safety oracle
-fires on the merged commit log (see :mod:`repro.live`).
+fires on the merged commit log (see :mod:`repro.live`). Both runners
+take the same ``--faults`` grammar; under ``live`` the schedule runs as
+real chaos — SIGKILL + respawn for crashes, frame shaping for link
+faults::
+
+    python -m repro live -n 4 --duration 8 --faults crash-restart
 """
 
 from __future__ import annotations
@@ -50,12 +55,62 @@ from repro.harness import (
     CHAOS_PRESET_NAMES,
     ExperimentConfig,
     PROTOCOL_PRESETS,
-    chaos_schedule,
     format_table,
+    resolve_fault_spec,
     run_experiment,
     tuned_protocol,
 )
 from repro.sim.topology import FluctuationWindow
+
+#: The ``--faults`` help text shared by the sim and live parsers — one
+#: grammar, resolved by :func:`repro.harness.resolve_fault_spec`.
+FAULTS_HELP = (
+    "scripted fault schedule: a chaos preset name "
+    f"({', '.join(CHAOS_PRESET_NAMES)}), inline JSON "
+    '(\'[{"event": "crash", "at": 2.0, "node": 3}, ...]\'), '
+    "or @file.json"
+)
+
+
+def _resolve_faults_arg(
+    spec: Optional[str], n: int, live: bool = False
+) -> Optional[FaultSchedule]:
+    """CLI wrapper over :func:`resolve_fault_spec`: ``SystemExit`` on error."""
+    if spec is None:
+        return None
+    try:
+        return resolve_fault_spec(spec, n, live=live)
+    except ValueError as exc:
+        # Covers JSONDecodeError too; a typo'd preset name lands here.
+        raise SystemExit(
+            f"bad --faults spec: {exc}\n"
+            f"expected a chaos preset ({', '.join(CHAOS_PRESET_NAMES)}), "
+            "@file, or an inline JSON schedule"
+        ) from exc
+
+
+def _print_fault_report(label: str, report: list[dict]) -> None:
+    """Render per-fault-window recovery metrics (sim and live runs)."""
+    rows = [
+        [
+            entry["kind"],
+            entry["label"] or "-",
+            f"{entry['start']:.2f}",
+            _fmt_time(entry["end"]),
+            ",".join(map(str, entry["nodes"])) or "all",
+            f"{entry['throughput_tps']:,.0f}",
+            _fmt_time(entry["commit_gap"]),
+            _fmt_time(entry["time_to_recover"]),
+        ]
+        for entry in report
+    ]
+    print()
+    print(format_table(
+        ["fault", "label", "start", "end", "nodes", "tput (tx/s)",
+         "commit gap (s)", "recover (s)"],
+        rows,
+        title=f"{label} fault windows",
+    ))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -94,13 +149,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--disturb", nargs=2, type=float, default=None,
                         metavar=("START", "DURATION"),
                         help="inject a Fig.7-style disturbance window")
-    parser.add_argument(
-        "--faults", default=None, metavar="SPEC",
-        help="scripted fault schedule: a chaos preset name "
-             f"({', '.join(CHAOS_PRESET_NAMES)}), inline JSON "
-             '(\'[{"event": "crash", "at": 2.0, "node": 3}, ...]\'), '
-             "or @file.json",
-    )
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help=FAULTS_HELP)
     parser.add_argument("--timeline", action="store_true",
                         help="print a per-second throughput timeline")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -234,9 +284,16 @@ def build_live_parser() -> argparse.ArgumentParser:
                         default="uniform")
     parser.add_argument("--tick", type=float, default=0.01,
                         help="client submission tick, seconds")
+    parser.add_argument("--view-timeout", type=float, default=None,
+                        help="view/epoch timer override, seconds — short "
+                             "timers make crash recovery fit short runs")
     parser.add_argument("--startup-grace", type=float, default=None,
                         help="seconds allowed for replica processes to "
                              "boot before protocol t=0")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help=FAULTS_HELP + " — crashes become SIGKILL + "
+                             "respawn, link faults become real frame "
+                             "shaping (see repro.live.chaos)")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the full result document to PATH")
     return parser
@@ -247,8 +304,12 @@ def run_live_cmd(argv: Sequence[str]) -> int:
     from repro.live import LiveConfig, run_live
 
     args = build_live_parser().parse_args(argv)
+    overrides = {}
+    if args.view_timeout is not None:
+        overrides["view_timeout"] = args.view_timeout
+        overrides["streamlet_epoch"] = args.view_timeout
     protocol = ProtocolConfig(
-        n=args.n, mempool=args.mempool, consensus=args.protocol
+        n=args.n, mempool=args.mempool, consensus=args.protocol, **overrides
     )
     config = ExperimentConfig(
         protocol=protocol,
@@ -260,23 +321,31 @@ def run_live_cmd(argv: Sequence[str]) -> int:
         tick=args.tick,
         label=f"live-{args.mempool}/{args.protocol}-n{args.n}",
     )
-    live = LiveConfig(experiment=config)
+    live = LiveConfig(
+        experiment=config,
+        faults=_resolve_faults_arg(args.faults, args.n, live=True),
+    )
     if args.startup_grace is not None:
         live.startup_grace = args.startup_grace
 
     print(f"live: {config.label} for {config.end_time:.0f}s wall clock "
-          f"at {config.rate_tps:,.0f} tx/s offered")
+          f"at {config.rate_tps:,.0f} tx/s offered"
+          + (f", faults: {args.faults}" if args.faults else ""))
     result = run_live(live)
 
     print(format_table(
-        ["node", "commits", "MB in", "MB out", "msgs"],
+        ["node", "gen", "commits", "MB in", "MB out", "msgs", "drops",
+         "reconn"],
         [
             [
                 entry["node_id"],
+                entry["generation"],
                 entry["commits"],
                 f"{entry['bytes_in'] / 1e6:.2f}",
                 f"{entry['bytes_out'] / 1e6:.2f}",
                 entry["messages_delivered"],
+                entry["frames_dropped"] + entry["frames_shed"],
+                entry["reconnects"],
             ]
             for entry in result.per_replica
         ],
@@ -286,6 +355,12 @@ def run_live_cmd(argv: Sequence[str]) -> int:
               f"{result.committed_blocks} blocks "
               f"({result.committed_tx:,} tx) committed",
     ))
+    for entry in result.fault_timeline:
+        print(f"  fault: {entry['event']} node {entry['node']} "
+              f"scheduled t={entry['at']:.2f} "
+              f"applied t={entry['applied_at']:.2f}")
+    if result.fault_report:
+        _print_fault_report(result.label, result.fault_report)
     for violation in result.violations:
         print(f"  VIOLATION {violation}")
     if args.json is not None:
@@ -354,34 +429,6 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
             base=0.1, jitter=0.05, throughput_factor=0.15,
         )
 
-    def resolve_faults(n: int) -> Optional[FaultSchedule]:
-        # Preset schedules depend on n (the crash victim is the highest
-        # id), so resolution happens per run inside the sweep loop.
-        if args.faults is None:
-            return None
-        try:
-            if args.faults in CHAOS_PRESET_NAMES:
-                return chaos_schedule(args.faults, n)
-            if args.faults.startswith("@"):
-                path = Path(args.faults[1:])
-                if not path.exists():
-                    raise SystemExit(
-                        f"fault schedule file not found: {path}"
-                    )
-                text = path.read_text()
-            else:
-                text = args.faults
-            schedule = FaultSchedule.from_json(text)
-            schedule.validate(n)
-            return schedule
-        except ValueError as exc:
-            # Covers JSONDecodeError too; a typo'd preset name lands here.
-            raise SystemExit(
-                f"bad --faults spec: {exc}\n"
-                f"expected a chaos preset ({', '.join(CHAOS_PRESET_NAMES)}), "
-                "@file, or an inline JSON schedule"
-            ) from exc
-
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
     jobs = args.jobs
@@ -408,7 +455,9 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
                 fault=args.fault,
                 fault_count=args.fault_count,
                 fluctuation=fluctuation,
-                faults=resolve_faults(n),
+                # Preset schedules depend on n (the crash victim is the
+                # highest id), so resolution happens per sweep cell.
+                faults=_resolve_faults_arg(args.faults, n),
                 label=f"{preset}-n{n}",
             )))
 
@@ -461,26 +510,7 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
                f"{args.duration:.0f}s window"),
     ))
     for label, report in fault_reports:
-        fault_rows = [
-            [
-                entry["kind"],
-                entry["label"] or "-",
-                f"{entry['start']:.2f}",
-                _fmt_time(entry["end"]),
-                ",".join(map(str, entry["nodes"])) or "all",
-                f"{entry['throughput_tps']:,.0f}",
-                _fmt_time(entry["commit_gap"]),
-                _fmt_time(entry["time_to_recover"]),
-            ]
-            for entry in report
-        ]
-        print()
-        print(format_table(
-            ["fault", "label", "start", "end", "nodes", "tput (tx/s)",
-             "commit gap (s)", "recover (s)"],
-            fault_rows,
-            title=f"{label} fault windows",
-        ))
+        _print_fault_report(label, report)
     for label, series in timelines:
         print(f"\n{label} timeline (t -> tx/s):")
         for t, value in series:
@@ -492,8 +522,11 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
-def _fmt_time(value: float) -> str:
-    return "never" if math.isinf(value) else f"{value:.2f}"
+def _fmt_time(value: Optional[float]) -> str:
+    # None is the JSON-serialized form of "never" (see LiveRunResult).
+    if value is None or math.isinf(value):
+        return "never"
+    return f"{value:.2f}"
 
 
 if __name__ == "__main__":  # pragma: no cover

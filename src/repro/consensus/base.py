@@ -61,6 +61,23 @@ class ConsensusEngine(abc.ABC):
         rest of the network happens through ordinary message handling
         (newer proposals, chain sync)."""
 
+    def rebase_block_ids(self, base: int) -> None:
+        """Start this replica's local block counter at ``base``.
+
+        Live crash/restart support, mirroring
+        :meth:`repro.mempool.base.Mempool.rebase_microblock_ids`: a
+        respawned interpreter forgets how many blocks its predecessor
+        minted, and ``(proposer, counter)`` block ids must stay unique
+        across incarnations — peers silently drop a proposal whose id they
+        have already accepted, so a colliding id wedges every view the
+        respawned replica leads. Engines whose counter is protocol state
+        rather than a local id (PBFT sequence numbers) override this as a
+        no-op.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support block-id rebasing"
+        )
+
     # -- helpers -----------------------------------------------------------
 
     @property

@@ -80,6 +80,9 @@ class HotStuff(ConsensusEngine):
         # Large parent proposals can still be in flight when small votes
         # or child proposals arrive; both are parked until the parent lands.
         self._orphans: dict[int, list[Proposal]] = {}
+        # Block ids sitting in ``_orphans`` — already received, only
+        # waiting on ancestry, so sync must not re-request them.
+        self._orphaned: set[int] = set()
         self._deferred_propose: dict[int, tuple[int, QuorumCert]] = {}
         self._sync_requested: set[int] = set()
         # Highest view each peer has announced via NEW_VIEW. When f + 1
@@ -110,6 +113,11 @@ class HotStuff(ConsensusEngine):
         self._view_timer = self.host.sim.schedule(
             self.config.view_timeout, lambda: self._on_timeout(view)
         )
+
+    def rebase_block_ids(self, base: int) -> None:
+        if self._block_counter:
+            raise RuntimeError("cannot rebase after proposing blocks")
+        self._block_counter = base
 
     # -- view management -----------------------------------------------
 
@@ -219,8 +227,10 @@ class HotStuff(ConsensusEngine):
             # Parent still in flight (or lost): park until it arrives and
             # ask for a retransmission in case it was actually lost.
             self._orphans.setdefault(proposal.parent_id, []).append(proposal)
+            self._orphaned.add(proposal.block_id)
             self._request_sync(proposal.parent_id, proposal.proposer)
             return
+        self._orphaned.discard(proposal.block_id)
         self.proposals[proposal.block_id] = proposal
         self._unresolved[proposal.block_id] = proposal
         self._process_qc(proposal.justify)
@@ -270,27 +280,40 @@ class HotStuff(ConsensusEngine):
         """
         if block_id in self.proposals or self.host.behavior.silent:
             return
-        if block_id in self._sync_requested:
+        if block_id in self._sync_requested or block_id in self._orphaned:
             return
         self._sync_requested.add(block_id)
+        if holder == self.node_id:
+            # A respawned replica walking back through its lost chain
+            # hits blocks it proposed in a previous incarnation; asking
+            # itself wastes a whole retry round per ancestor and turns
+            # catch-up from O(RTT) into O(view_timeout) per block.
+            holder = self._next_sync_holder(holder)
         self._send_sync_round(block_id, holder, rounds_left=10)
+
+    def _next_sync_holder(self, holder: int) -> int:
+        """Next replica to ask for a retransmission — never ourselves."""
+        leaders = self.host.leader_set
+        index = leaders.index(holder) if holder in leaders else -1
+        for step in range(1, len(leaders) + 1):
+            candidate = leaders[(index + step) % len(leaders)]
+            if candidate != self.node_id:
+                return candidate
+        return holder
 
     def _send_sync_round(
         self, block_id: int, holder: int, rounds_left: int
     ) -> None:
-        if block_id in self.proposals or rounds_left <= 0:
+        if (block_id in self.proposals or block_id in self._orphaned
+                or rounds_left <= 0):
             self._sync_requested.discard(block_id)
             return
         self.send(holder, MessageKinds.SYNC_REQUEST, sizes.FETCH_REQUEST,
                   block_id)
-        leaders = self.host.leader_set
-        next_holder = leaders[
-            (leaders.index(holder) + 1) % len(leaders)
-        ] if holder in leaders else leaders[0]
         self.host.sim.schedule(
             self.config.view_timeout,
             lambda: self._send_sync_round(
-                block_id, next_holder, rounds_left - 1
+                block_id, self._next_sync_holder(holder), rounds_left - 1
             ),
         )
 

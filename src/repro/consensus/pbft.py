@@ -77,6 +77,13 @@ class Pbft(ConsensusEngine):
             self._pump()
             self._arm_retransmit()
 
+    def rebase_block_ids(self, base: int) -> None:
+        # PBFT block ids embed the sequence number — protocol state, not
+        # a locally-minted counter. Offsetting them would skip slots, so
+        # respawn id-disambiguation is a no-op here (a respawned leader
+        # re-proposing committed slots is rejected by the seq window).
+        pass
+
     # -- leader ----------------------------------------------------------
 
     def _pump(self) -> None:

@@ -65,6 +65,9 @@ class Streamlet(ConsensusEngine):
         # flight) park here; chain sync asks for a retransmission so one
         # dropped proposal cannot hide the rest of the chain forever.
         self._orphans: dict[int, list[Proposal]] = {}
+        # Block ids sitting in ``_orphans`` — already received, only
+        # waiting on ancestry, so sync must not re-request them.
+        self._orphaned: set[int] = set()
         self._sync_requested: set[int] = set()
         # Notarization certificates, piggybacked on proposals through the
         # ``justify`` field (implicit echoing): a replica whose vote copies
@@ -94,6 +97,11 @@ class Streamlet(ConsensusEngine):
         self._epoch_timer = self.host.sim.schedule_at(
             max(self.epoch * period, now), self._next_epoch
         )
+
+    def rebase_block_ids(self, base: int) -> None:
+        if self._block_counter:
+            raise RuntimeError("cannot rebase after proposing blocks")
+        self._block_counter = base
 
     # -- epochs ------------------------------------------------------------
 
@@ -154,8 +162,10 @@ class Streamlet(ConsensusEngine):
             # (who must hold the whole ancestry it extended) for a
             # retransmission, else this hole hides all descendants.
             self._orphans.setdefault(proposal.parent_id, []).append(proposal)
+            self._orphaned.add(proposal.block_id)
             self._request_sync(proposal.parent_id, proposal.proposer)
             return
+        self._orphaned.discard(proposal.block_id)
         self.proposals[proposal.block_id] = proposal
         self._unresolved[proposal.block_id] = proposal
         self._adopt_cert(proposal.justify)
@@ -246,27 +256,39 @@ class Streamlet(ConsensusEngine):
         """
         if block_id in self.proposals or self.host.behavior.silent:
             return
-        if block_id in self._sync_requested:
+        if block_id in self._sync_requested or block_id in self._orphaned:
             return
         self._sync_requested.add(block_id)
+        if holder == self.node_id:
+            # Never ask ourselves (a respawned replica's own pre-crash
+            # blocks name it as proposer): it stalls catch-up for a full
+            # retry round per ancestor.
+            holder = self._next_sync_holder(holder)
         self._send_sync_round(block_id, holder, rounds_left=10)
+
+    def _next_sync_holder(self, holder: int) -> int:
+        """Next replica to ask for a retransmission — never ourselves."""
+        leaders = self.host.leader_set
+        index = leaders.index(holder) if holder in leaders else -1
+        for step in range(1, len(leaders) + 1):
+            candidate = leaders[(index + step) % len(leaders)]
+            if candidate != self.node_id:
+                return candidate
+        return holder
 
     def _send_sync_round(
         self, block_id: int, holder: int, rounds_left: int
     ) -> None:
-        if block_id in self.proposals or rounds_left <= 0:
+        if (block_id in self.proposals or block_id in self._orphaned
+                or rounds_left <= 0):
             self._sync_requested.discard(block_id)
             return
         self.send(holder, MessageKinds.SYNC_REQUEST, sizes.FETCH_REQUEST,
                   block_id)
-        leaders = self.host.leader_set
-        next_holder = leaders[
-            (leaders.index(holder) + 1) % len(leaders)
-        ] if holder in leaders else leaders[0]
         self.host.sim.schedule(
             self.config.streamlet_epoch,
             lambda: self._send_sync_round(
-                block_id, next_holder, rounds_left - 1
+                block_id, self._next_sync_holder(holder), rounds_left - 1
             ),
         )
 

@@ -8,6 +8,12 @@ queue. The injector composes with user drop filters
 (:meth:`repro.sim.network.Network.set_drop_filter` keeps working) and
 records every fault window in the metrics hub so runs report per-window
 throughput, commit gaps, and time-to-recover.
+
+The same schedule also runs against the live asyncio TCP backend:
+:meth:`FaultSchedule.process_events` and
+:meth:`FaultSchedule.shaping_spec` split it into process-level events
+(SIGKILL + respawn) and per-frame link-shaping windows consumed by
+:mod:`repro.live.chaos`.
 """
 
 from repro.faults.schedule import (

@@ -33,22 +33,16 @@ from repro.faults.schedule import (
     Partition,
     RestartReplica,
     SwapBehavior,
+    channel_for,
 )
 from repro.metrics import MetricsHub
 from repro.replica.behavior import behavior_for
 from repro.sim.engine import Simulator
-from repro.sim.network import Channel, Envelope, Network
+from repro.sim.network import Envelope, Network
 from repro.sim.topology import FluctuationWindow, Topology
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.replica.node import Replica
-
-_CHANNELS = {
-    "consensus": Channel.CONSENSUS,
-    "control": Channel.CONTROL,
-    "data": Channel.DATA,
-}
-
 
 class FaultInjector:
     """Executes one fault schedule against a wired experiment."""
@@ -148,7 +142,7 @@ class FaultInjector:
                 self._heal_one(partition)
 
     def _schedule_loss(self, event: LossWindow) -> None:
-        channel = _CHANNELS[event.channel] if event.channel else None
+        channel = channel_for(event.channel) if event.channel else None
         nodes = set(event.nodes)
         rng = self._rng
 

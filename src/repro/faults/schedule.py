@@ -37,6 +37,22 @@ from repro.replica.behavior import BEHAVIOR_KINDS
 CHANNEL_NAMES = ("consensus", "control", "data")
 
 
+def channel_for(name: str):
+    """Resolve a schedule channel name to the seam's :class:`Channel`.
+
+    Shared by both fault backends (the simulator's drop rules and the
+    live runtime's link shaper) so the two never disagree on what a
+    schedule's ``"channel": "data"`` means.
+    """
+    from repro.sim.interfaces import Channel
+
+    return {
+        "consensus": Channel.CONSENSUS,
+        "control": Channel.CONTROL,
+        "data": Channel.DATA,
+    }[name]
+
+
 @dataclass(frozen=True)
 class FaultEvent:
     """Base class: one timed event on the chaos timeline."""
@@ -213,6 +229,40 @@ class SwapBehavior(FaultEvent):
             )
 
 
+def _resolve_partitions(
+    events: Sequence[FaultEvent],
+) -> list[tuple[Partition, float, Optional[float]]]:
+    """Pair each partition with the instant it heals.
+
+    Returns ``(partition, start, end)`` triples in start order; ``end``
+    is ``None`` for partitions never healed within the schedule. This is
+    the backend-agnostic core both :meth:`FaultSchedule.windows` (metrics
+    intervals) and :meth:`FaultSchedule.shaping_spec` (live link shaping)
+    are built on; the simulator's injector realizes the same semantics
+    dynamically via drop rules.
+    """
+    resolved: list[tuple[Partition, float, Optional[float]]] = []
+    open_partitions: list[tuple[Partition, float]] = []
+    for event in events:
+        if isinstance(event, Partition):
+            if event.duration is not None:
+                resolved.append((event, event.at, event.at + event.duration))
+            else:
+                open_partitions.append((event, event.at))
+        elif isinstance(event, Heal):
+            remaining: list[tuple[Partition, float]] = []
+            for partition, start in open_partitions:
+                if event.label and partition.label != event.label:
+                    remaining.append((partition, start))
+                else:
+                    resolved.append((partition, start, event.at))
+            open_partitions = remaining
+    for partition, start in open_partitions:
+        resolved.append((partition, start, None))
+    resolved.sort(key=lambda item: item[1])
+    return resolved
+
+
 _EVENT_NAMES = {
     "crash": CrashReplica,
     "restart": RestartReplica,
@@ -321,6 +371,75 @@ class FaultSchedule:
                     )
                 alive.add(event.node)
 
+    def process_events(self) -> list[FaultEvent]:
+        """The crash/restart timeline, in time order.
+
+        These are the events a live backend realizes at the *process*
+        level (SIGKILL + respawn) rather than inside the network fabric;
+        everything else in the schedule is link shaping
+        (:meth:`shaping_spec`).
+        """
+        return [
+            event for event in self.events
+            if isinstance(event, (CrashReplica, RestartReplica))
+        ]
+
+    def shaping_spec(self) -> list[dict]:
+        """Link-shaping windows as plain JSON-able dicts.
+
+        Partitions (heal-resolved), loss, delay, and bandwidth events
+        flatten into ``{"kind", "start", "end", ...}`` windows a
+        transport backend can evaluate per frame against its own clock —
+        the live runtime ships this list in each replica's spawn spec
+        and feeds it to :class:`repro.live.chaos.LinkShaper`. ``end`` is
+        ``None`` for windows never closed within the schedule.
+        """
+        spec: list[dict] = []
+        for partition, start, end in _resolve_partitions(self.events):
+            spec.append({
+                "kind": "partition", "start": start, "end": end,
+                "groups": [list(group) for group in partition.groups],
+            })
+        for event in self.events:
+            if isinstance(event, LossWindow):
+                spec.append({
+                    "kind": "loss", "start": event.at,
+                    "end": event.at + event.duration, "rate": event.rate,
+                    "kinds": list(event.kinds), "channel": event.channel,
+                    "nodes": list(event.nodes),
+                })
+            elif isinstance(event, DelaySpike):
+                spec.append({
+                    "kind": "delay", "start": event.at,
+                    "end": event.at + event.duration, "base": event.base,
+                    "jitter": event.jitter,
+                    "bandwidth_factor": event.bandwidth_factor,
+                })
+            elif isinstance(event, BandwidthSqueeze):
+                spec.append({
+                    "kind": "bandwidth", "start": event.at,
+                    "end": event.at + event.duration, "factor": event.factor,
+                    "nodes": list(event.nodes),
+                })
+        spec.sort(key=lambda window: window["start"])
+        return spec
+
+    def validate_live(self, n: int) -> None:
+        """Validate for the live backend (stricter than :meth:`validate`).
+
+        Behavior swaps have no live realization yet — a running OS
+        process cannot be handed a new ``Behavior`` object over the wall
+        — so schedules containing them are rejected up front instead of
+        silently dropping the event.
+        """
+        self.validate(n)
+        for event in self.events:
+            if isinstance(event, SwapBehavior):
+                raise ValueError(
+                    "behavior swaps are not supported on the live backend "
+                    f"(swap of node {event.node} at t={event.at})"
+                )
+
     def windows(self) -> list[FaultWindow]:
         """Disturbance intervals for metrics reporting.
 
@@ -330,7 +449,15 @@ class FaultSchedule:
         """
         windows: list[FaultWindow] = []
         open_crashes: dict[int, float] = {}
-        open_partitions: list[tuple[Partition, float]] = []
+        for partition, start, end in _resolve_partitions(self.events):
+            windows.append(FaultWindow(
+                kind="partition", start=start,
+                end=math.inf if end is None else end,
+                nodes=tuple(sorted(
+                    node for group in partition.groups for node in group
+                )),
+                label=partition.label,
+            ))
         for event in self.events:
             if isinstance(event, CrashReplica):
                 open_crashes[event.node] = event.at
@@ -341,32 +468,6 @@ class FaultSchedule:
                         kind="crash", start=start, end=event.at,
                         nodes=(event.node,),
                     ))
-            elif isinstance(event, Partition):
-                nodes = tuple(sorted(
-                    node for group in event.groups for node in group
-                ))
-                if event.duration is not None:
-                    windows.append(FaultWindow(
-                        kind="partition", start=event.at,
-                        end=event.at + event.duration,
-                        nodes=nodes, label=event.label,
-                    ))
-                else:
-                    open_partitions.append((event, event.at))
-            elif isinstance(event, Heal):
-                remaining: list[tuple[Partition, float]] = []
-                for partition, start in open_partitions:
-                    if event.label and partition.label != event.label:
-                        remaining.append((partition, start))
-                        continue
-                    nodes = tuple(sorted(
-                        node for group in partition.groups for node in group
-                    ))
-                    windows.append(FaultWindow(
-                        kind="partition", start=start, end=event.at,
-                        nodes=nodes, label=partition.label,
-                    ))
-                open_partitions = remaining
             elif isinstance(event, LossWindow):
                 windows.append(FaultWindow(
                     kind="loss", start=event.at,
@@ -385,14 +486,6 @@ class FaultSchedule:
         for node, start in sorted(open_crashes.items()):
             windows.append(FaultWindow(
                 kind="crash", start=start, end=math.inf, nodes=(node,),
-            ))
-        for partition, start in open_partitions:
-            nodes = tuple(sorted(
-                node for group in partition.groups for node in group
-            ))
-            windows.append(FaultWindow(
-                kind="partition", start=start, end=math.inf,
-                nodes=nodes, label=partition.label,
             ))
         windows.sort(key=lambda window: window.start)
         return windows

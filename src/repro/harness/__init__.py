@@ -4,6 +4,7 @@ from repro.harness.presets import (
     CHAOS_PRESET_NAMES,
     PROTOCOL_PRESETS,
     chaos_schedule,
+    resolve_fault_spec,
     tuned_protocol,
 )
 from repro.harness.config import ExperimentConfig
@@ -22,6 +23,7 @@ __all__ = [
     "PROTOCOL_PRESETS",
     "CHAOS_PRESET_NAMES",
     "chaos_schedule",
+    "resolve_fault_spec",
     "tuned_protocol",
     "ExperimentConfig",
     "ExperimentResult",

@@ -8,6 +8,8 @@ enough to ship their full-data proposals.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.config import ProtocolConfig
 from repro.faults import (
     BandwidthSqueeze,
@@ -170,3 +172,35 @@ def chaos_schedule(name: str, n: int) -> FaultSchedule:
     raise ValueError(
         f"unknown chaos preset {name!r}; choose from {CHAOS_PRESET_NAMES}"
     )
+
+
+def resolve_fault_spec(
+    spec: str, n: int, live: bool = False
+) -> FaultSchedule:
+    """Resolve a ``--faults`` argument into a validated schedule.
+
+    ``spec`` is a chaos preset name, ``@path/to/schedule.json``, or an
+    inline JSON event list — the one grammar shared by the simulator and
+    live CLIs. With ``live=True`` the schedule is additionally held to
+    the live backend's restrictions (see
+    :meth:`FaultSchedule.validate_live` — e.g. no behavior swaps, which
+    would need a runtime control channel into the replica processes).
+    Raises ``ValueError`` (including for a missing ``@file``) so callers
+    own the exit/retry policy.
+    """
+    if spec in CHAOS_PRESET_NAMES:
+        schedule = chaos_schedule(spec, n)
+    else:
+        if spec.startswith("@"):
+            path = Path(spec[1:])
+            if not path.exists():
+                raise ValueError(f"fault schedule file not found: {path}")
+            text = path.read_text()
+        else:
+            text = spec
+        schedule = FaultSchedule.from_json(text)
+    if live:
+        schedule.validate_live(n)
+    else:
+        schedule.validate(n)
+    return schedule

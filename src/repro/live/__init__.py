@@ -17,8 +17,14 @@ process model             one process, n replicas     n processes + 1 client
 
 Entry point: :func:`repro.live.orchestrator.run_live` (CLI:
 ``python -m repro live``).
+
+Chaos runs reuse the declarative :class:`repro.faults.FaultSchedule`:
+crash/restart become SIGKILL + respawn (:class:`LiveFaultInjector`),
+link faults become per-frame egress shaping (:class:`LinkShaper`) — see
+:mod:`repro.live.chaos`.
 """
 
+from repro.live.chaos import LinkShaper, LiveFaultInjector
 from repro.live.orchestrator import LiveConfig, LiveRunResult, run_live
 from repro.live.scheduler import RealtimeScheduler
 from repro.live.wire import (
@@ -34,6 +40,8 @@ __all__ = [
     "LiveConfig",
     "LiveRunResult",
     "run_live",
+    "LinkShaper",
+    "LiveFaultInjector",
     "RealtimeScheduler",
     "MESSAGE_REGISTRY",
     "WireError",

@@ -1,0 +1,260 @@
+"""Live chaos: the fault-injection layer on real processes and sockets.
+
+The same declarative :class:`~repro.faults.FaultSchedule` that drives
+the simulator's :class:`~repro.faults.FaultInjector` runs here against
+OS-level reality, split along the seam
+:meth:`~repro.faults.FaultSchedule.process_events` /
+:meth:`~repro.faults.FaultSchedule.shaping_spec` draws:
+
+* **Process faults** (crash/restart) are executed by
+  :class:`LiveFaultInjector` inside the orchestrator: a crash is
+  ``SIGKILL`` — no shutdown grace, no result flush, exactly what a
+  power-cut gives you — and a restart respawns a *fresh* interpreter
+  that rebinds the same port and resyncs through the ordinary
+  chain-sync / PAB-fetch paths over re-established TCP connections.
+* **Link faults** (partition/heal, loss, delay+jitter, bandwidth
+  squeeze) are evaluated per frame by :class:`LinkShaper` inside each
+  replica's :class:`~repro.live.network.LiveNetwork`. Every process
+  receives the same window list in its spawn spec and evaluates it
+  against the shared wall-clock epoch, so windows open and close in
+  lockstep (within clock skew) without any runtime control channel —
+  the EINES/netem approach, realized in the writer path instead of tc.
+
+Drops happen at *send* time (a partitioned frame never occupies queue
+space); delays and throttling happen at *write* time in the link's
+writer task, where holding a frame back serializes the link exactly
+like a shaped interface would.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Sequence
+
+from repro.faults.schedule import (
+    CrashReplica,
+    FaultEvent,
+    FaultSchedule,
+    channel_for,
+)
+from repro.sim.interfaces import Channel
+
+__all__ = ["LinkShaper", "LiveFaultInjector", "LIVE_LINK_BANDWIDTH_BPS"]
+
+#: Nominal unshaped egress bandwidth of a live replica. Localhost TCP is
+#: effectively unthrottled, so squeezes need a baseline to scale: a
+#: ``factor=0.1`` squeeze shapes egress to 10% of this. Matches the
+#: simulator's LAN default (1 Gbps).
+LIVE_LINK_BANDWIDTH_BPS = 1e9
+
+#: Token-bucket burst while throttled: one jumbo frame's worth, so
+#: throttling bites quickly without serializing tiny control messages
+#: one token at a time.
+_BURST_BYTES = 256 * 1024
+
+
+class _EgressBucket:
+    """Continuous-time token bucket metering shaped egress bytes."""
+
+    def __init__(self, burst_bytes: float = _BURST_BYTES) -> None:
+        self._burst = burst_bytes
+        self._tokens = burst_bytes
+        self._last: Optional[float] = None
+
+    def delay(self, now: float, rate_bytes_s: float, size: int) -> float:
+        """Seconds to hold a ``size``-byte frame to respect the rate."""
+        if self._last is None:
+            self._last = now
+        self._tokens = min(
+            self._burst, self._tokens + (now - self._last) * rate_bytes_s
+        )
+        self._last = now
+        self._tokens -= size
+        if self._tokens >= 0:
+            return 0.0
+        return -self._tokens / rate_bytes_s
+
+
+class LinkShaper:
+    """Per-frame realization of a schedule's link-shaping windows.
+
+    One shaper serves one process's egress. All randomness (loss coin
+    flips, delay jitter) draws from the injected ``rng``, so a seeded
+    shaper is deterministic given the same frame sequence and clock —
+    which is what the unit tests pin down. Wall-clock window activation
+    is inherently racy at the edges across processes; that imprecision
+    is the live backend's analogue of the simulator's zero-width event
+    boundaries and stays well below the window durations being modeled.
+
+    ``windows`` is the plain-dict list from
+    :meth:`repro.faults.FaultSchedule.shaping_spec`; ``clock`` is any
+    object with a ``now`` attribute on the shared epoch (the process's
+    :class:`~repro.live.scheduler.RealtimeScheduler`).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        windows: Sequence[dict],
+        clock,
+        rng,
+        link_bandwidth_bps: float = LIVE_LINK_BANDWIDTH_BPS,
+    ) -> None:
+        self.node_id = node_id
+        self._clock = clock
+        self._rng = rng
+        self._bandwidth_bps = link_bandwidth_bps
+        self._bucket = _EgressBucket()
+        #: Frames dropped by partitions/loss windows (chaos drops, kept
+        #: separate from the network's backpressure ``frames_dropped``).
+        self.frames_shed = 0
+        self._partitions: list[tuple[float, float, dict, int]] = []
+        self._losses: list[
+            tuple[float, float, float, tuple, Optional[Channel], frozenset]
+        ] = []
+        self._delays: list[tuple[float, float, float, float, float]] = []
+        self._squeezes: list[tuple[float, float, float, frozenset]] = []
+        for window in windows:
+            start = window["start"]
+            end = window["end"]
+            end = float("inf") if end is None else end
+            kind = window["kind"]
+            if kind == "partition":
+                group_of: dict[int, int] = {}
+                for index, group in enumerate(window["groups"]):
+                    for node in group:
+                        group_of[node] = index
+                rest = len(window["groups"])
+                self._partitions.append((start, end, group_of, rest))
+            elif kind == "loss":
+                channel = (
+                    channel_for(window["channel"])
+                    if window.get("channel") else None
+                )
+                self._losses.append((
+                    start, end, window["rate"],
+                    tuple(window.get("kinds") or ()),
+                    channel, frozenset(window.get("nodes") or ()),
+                ))
+            elif kind == "delay":
+                self._delays.append((
+                    start, end, window["base"], window["jitter"],
+                    window["bandwidth_factor"],
+                ))
+            elif kind == "bandwidth":
+                self._squeezes.append((
+                    start, end, window["factor"],
+                    frozenset(window.get("nodes") or ()),
+                ))
+            else:
+                raise ValueError(f"unknown shaping window kind {kind!r}")
+
+    @property
+    def active(self) -> bool:
+        """Whether any window could still fire (idle shapers cost one
+        attribute check per frame on the send path)."""
+        return bool(
+            self._partitions or self._losses
+            or self._delays or self._squeezes
+        )
+
+    # -- send-time decisions (synchronous) ------------------------------
+
+    def drops(self, src: int, dst: int, kind: str, channel: Channel) -> bool:
+        """Whether a frame ``src -> dst`` is dropped by an active window."""
+        now = self._clock.now
+        for start, end, group_of, rest in self._partitions:
+            if start <= now < end and (
+                group_of.get(src, rest) != group_of.get(dst, rest)
+            ):
+                self.frames_shed += 1
+                return True
+        for start, end, rate, kinds, loss_channel, nodes in self._losses:
+            if not start <= now < end:
+                continue
+            if loss_channel is not None and channel is not loss_channel:
+                continue
+            if nodes and src not in nodes and dst not in nodes:
+                continue
+            if kinds and not any(kind.startswith(p) for p in kinds):
+                continue
+            if self._rng.random() < rate:
+                self.frames_shed += 1
+                return True
+        return False
+
+    # -- write-time shaping (writer task) -------------------------------
+
+    def write_delay(self, dst: int, size: int, channel: Channel) -> float:
+        """Seconds to hold a frame before writing it to the socket.
+
+        Delay windows contribute their sampled one-way delay; bandwidth
+        squeezes (and delay windows' goodput-collapse factor) throttle
+        via the token bucket against the scaled nominal link rate.
+        """
+        now = self._clock.now
+        delay = 0.0
+        bandwidth_factor = 1.0
+        for start, end, base, jitter, goodput in self._delays:
+            if start <= now < end:
+                delay += max(
+                    0.0, base + self._rng.uniform(-jitter, jitter)
+                )
+                bandwidth_factor *= goodput
+        for start, end, factor, nodes in self._squeezes:
+            if start <= now < end and (not nodes or self.node_id in nodes):
+                bandwidth_factor *= factor
+        if bandwidth_factor < 1.0:
+            rate = self._bandwidth_bps * bandwidth_factor / 8.0
+            delay += self._bucket.delay(now, rate, size)
+        return delay
+
+
+class LiveFaultInjector:
+    """Executes a schedule's crash/restart timeline on OS processes.
+
+    Runs inside the orchestrator's event loop alongside the client
+    driver. ``kill``/``respawn`` are orchestrator-supplied callbacks
+    (:mod:`repro.live.orchestrator` owns the process table); the
+    injector owns only the timeline and its record. Link-shaping
+    windows never appear here — they ship inside each replica's spawn
+    spec as a :class:`LinkShaper`.
+    """
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        epoch: float,
+        kill: Callable[[int], None],
+        respawn: Callable[[int], None],
+    ) -> None:
+        self._events: list[FaultEvent] = schedule.process_events()
+        self._epoch = epoch
+        self._kill = kill
+        self._respawn = respawn
+        #: Applied process faults: ``{"event", "node", "at", "applied_at"}``
+        #: with times on the shared epoch. ``applied_at`` trails ``at`` by
+        #: scheduling jitter; respawned interpreters additionally take
+        #: their import time before rejoining.
+        self.timeline: list[dict] = []
+
+    async def run(self) -> None:
+        import asyncio
+
+        for event in self._events:
+            delay = self._epoch + event.at - time.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            node = event.node
+            if isinstance(event, CrashReplica):
+                self._kill(node)
+                name = "crash"
+            else:
+                self._respawn(node)
+                name = "restart"
+            self.timeline.append({
+                "event": name,
+                "node": node,
+                "at": event.at,
+                "applied_at": time.time() - self._epoch,
+            })

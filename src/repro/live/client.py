@@ -9,7 +9,6 @@ whose ``on_client_batch`` ships the batch to the real replica as a
 from __future__ import annotations
 
 import asyncio
-import time
 
 from repro.harness.config import ExperimentConfig
 from repro.live.network import LiveNetwork
@@ -67,14 +66,10 @@ async def run_client(
         tick=config.tick,
     )
 
-    start_delay = epoch - time.time()
-    if start_delay > 0:
-        await asyncio.sleep(start_delay)
+    await scheduler.sleep_until(0.0)
     generator.start()
 
-    remaining = config.end_time - scheduler.now
-    if remaining > 0:
-        await asyncio.sleep(remaining)
+    await scheduler.sleep_until(config.end_time)
     generator.stop()
     await network.close()
     return generator.emitted_tx_count

@@ -3,74 +3,199 @@
 One :class:`LiveNetwork` instance serves exactly one replica process: it
 listens on its own localhost port and keeps one outbound connection per
 peer. Frames are the length-prefixed JSON documents of
-:mod:`repro.live.wire`; per-peer FIFO ordering falls out of TCP plus the
-single writer task per link, satisfying the :class:`Transport` ordering
-contract the protocol recovery paths rely on.
+:mod:`repro.live.wire`; per-peer, per-channel FIFO ordering falls out of
+TCP plus the single writer task per link, satisfying the
+:class:`Transport` ordering contract the protocol recovery paths rely on.
 
 ``send``/``broadcast`` stay synchronous (the protocol code is the same
 code that runs in-sim): they encode the frame immediately — which is
 where the codec's purity assertion fires — and hand the bytes to the
-peer link's writer task via an unbounded queue. All protocol callbacks
-run on the owning event loop's thread, so no locking is needed.
+peer link's writer task.
+
+Robustness properties (the live-chaos hardening):
+
+* **Bounded send queues.** Each link keeps two bounded deques — one for
+  CONSENSUS/CONTROL frames, one for DATA — and the writer drains the
+  priority queue first. When a queue is full the new frame is dropped
+  (``NetworkStats.frames_dropped``), so a dead or throttled peer costs a
+  bounded amount of memory and data backlog never starves consensus
+  traffic. Message loss is within the Transport contract; the protocol's
+  retransmission paths recover.
+* **Reconnection.** A link whose connection fails or resets retries
+  forever with exponential backoff plus jitter — not just during the
+  startup window — so a replica SIGKILLed and respawned mid-run is
+  re-reachable as soon as it rebinds its port.
+* **Liveness view.** ``liveness()`` reports which peers currently hold
+  an established connection; writers never block protocol callbacks, so
+  a dead peer degrades into dropped frames instead of a hang.
+* **Shaping hook.** An optional :class:`repro.live.chaos.LinkShaper`
+  drops frames at send time (partitions, loss windows) and delays them
+  at write time (latency spikes, bandwidth squeezes), realizing the
+  chaos layer's network faults on real sockets.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Optional
+import random
+from collections import deque
+from typing import Optional, TYPE_CHECKING
 
 from repro.live.wire import CLIENT_BATCH, FrameDecoder, WireError, encode_frame
 from repro.sim.interfaces import Channel, Envelope, Handler, Scheduler, Transport
 from repro.sim.network import NetworkStats
 
-#: How long a peer link keeps retrying its initial connection. Covers
-#: the orchestrator's startup window where replicas come up in any order.
-CONNECT_TIMEOUT = 15.0
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.live.chaos import LinkShaper
+
+#: First retry delay after a failed connect; doubles per attempt.
 CONNECT_RETRY_DELAY = 0.05
+#: Backoff cap — a downed peer is probed at least this often (plus
+#: jitter), bounding how stale the liveness view can get.
+CONNECT_RETRY_MAX = 1.0
+
+#: Bounded send-queue depths (frames). DATA carries microblock bodies —
+#: the bulk — and is capped tighter than the consensus/control queue so
+#: backpressure sheds payload before it sheds votes.
+DATA_QUEUE_CAP = 1024
+PRIORITY_QUEUE_CAP = 4096
 
 
 class _PeerLink:
-    """One outbound connection: an unbounded frame queue + a writer task."""
+    """One outbound connection: bounded frame queues + a writer task.
 
-    def __init__(self, host: str, port: int) -> None:
+    The queues are plain deques rather than ``asyncio.Queue`` because
+    ``send`` must stay synchronous and the drop policy needs to inspect
+    both queues' depths; an :class:`asyncio.Event` wakes the writer.
+    """
+
+    def __init__(
+        self,
+        dst: int,
+        host: str,
+        port: int,
+        stats: NetworkStats,
+        shaper: Optional["LinkShaper"] = None,
+    ) -> None:
+        self.dst = dst
         self.host = host
         self.port = port
-        self.queue: asyncio.Queue[Optional[bytes]] = asyncio.Queue()
         self.task: Optional[asyncio.Task] = None
         self.bytes_out = 0
+        self.connected = False
+        self.reconnects = 0
+        self._stats = stats
+        self._shaper = shaper
+        self._priority: deque[tuple[bytes, Channel]] = deque()
+        self._data: deque[tuple[bytes, Channel]] = deque()
+        self._wake = asyncio.Event()
+        self._closing = False
+        # Backoff jitter only — shaping decisions never draw from this.
+        self._rng = random.Random()
+
+    # -- producer side (synchronous, protocol thread) -------------------
+
+    def enqueue(self, frame: bytes, channel: Channel) -> bool:
+        """Queue one frame; returns False when backpressure drops it."""
+        if self._closing:
+            return False
+        if channel is Channel.DATA:
+            queue, cap = self._data, DATA_QUEUE_CAP
+        else:
+            queue, cap = self._priority, PRIORITY_QUEUE_CAP
+        if len(queue) >= cap:
+            self._stats.frames_dropped += 1
+            return False
+        queue.append((frame, channel))
+        depth = len(self._priority) + len(self._data)
+        if depth > self._stats.queue_high_watermark:
+            self._stats.queue_high_watermark = depth
+        self._wake.set()
+        return True
+
+    @property
+    def queued(self) -> int:
+        return len(self._priority) + len(self._data)
+
+    def close(self) -> None:
+        """Ask the writer to drain its queues and exit."""
+        self._closing = True
+        self._wake.set()
+
+    # -- writer task -----------------------------------------------------
 
     async def run(self) -> None:
         writer = None
         try:
-            writer = await self._connect()
-            if writer is None:
-                return
             while True:
-                frame = await self.queue.get()
-                if frame is None:  # shutdown sentinel
-                    break
-                writer.write(frame)
-                self.bytes_out += len(frame)
-                await writer.drain()
-        except (ConnectionError, asyncio.CancelledError):
-            # Peer process exited (shutdown or crash): drop the link.
-            # Message loss is within the Transport contract.
+                writer = await self._connect()
+                if writer is None:  # closed while unreachable
+                    return
+                self.connected = True
+                try:
+                    drained = await self._pump(writer)
+                except (ConnectionError, OSError):
+                    # Peer process exited or reset mid-write: the frame
+                    # being written is lost (within the Transport
+                    # contract); reconnect and keep going.
+                    drained = False
+                finally:
+                    self.connected = False
+                    writer.close()
+                    writer = None
+                if drained:
+                    return
+                self.reconnects += 1
+                self._stats.reconnects += 1
+        except asyncio.CancelledError:
+            # Loop teardown (LiveNetwork.close cancelling a stuck link).
             pass
         finally:
+            self.connected = False
             if writer is not None:
                 writer.close()
 
-    async def _connect(self):
-        loop = asyncio.get_running_loop()
-        deadline = loop.time() + CONNECT_TIMEOUT
+    async def _pump(self, writer: asyncio.StreamWriter) -> bool:
+        """Write queued frames until closed (True) or the link drops."""
         while True:
+            if self._priority:
+                frame, channel = self._priority.popleft()
+            elif self._data:
+                frame, channel = self._data.popleft()
+            else:
+                if self._closing:
+                    return True
+                self._wake.clear()
+                if not (self._priority or self._data or self._closing):
+                    await self._wake.wait()
+                continue
+            if self._shaper is not None:
+                delay = self._shaper.write_delay(
+                    self.dst, len(frame), channel
+                )
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            writer.write(frame)
+            self.bytes_out += len(frame)
+            await writer.drain()
+
+    async def _connect(self) -> Optional[asyncio.StreamWriter]:
+        """Connect with exponential backoff + jitter until closed.
+
+        Unlike a startup-only retry window, this never gives up: a peer
+        restarted mid-run (chaos respawn, operator restart) is picked
+        back up as soon as it listens again.
+        """
+        backoff = CONNECT_RETRY_DELAY
+        while not self._closing:
             try:
                 _, writer = await asyncio.open_connection(self.host, self.port)
                 return writer
-            except ConnectionError:
-                if loop.time() >= deadline:
-                    return None
-                await asyncio.sleep(CONNECT_RETRY_DELAY)
+            except (ConnectionError, OSError):
+                delay = backoff * (0.5 + self._rng.random())
+                backoff = min(backoff * 2.0, CONNECT_RETRY_MAX)
+                await asyncio.sleep(delay)
+        return None
 
 
 class LiveNetwork(Transport):
@@ -82,11 +207,13 @@ class LiveNetwork(Transport):
         ports: dict[int, int],
         scheduler: Scheduler,
         host: str = "127.0.0.1",
+        shaper: Optional["LinkShaper"] = None,
     ) -> None:
         self.node_id = node_id
         self.ports = ports
         self.host = host
         self.scheduler = scheduler
+        self.shaper = shaper
         self.stats = NetworkStats()
         self.bytes_in = 0
         self._handler: Optional[Handler] = None
@@ -95,11 +222,22 @@ class LiveNetwork(Transport):
         self.client_handler: Optional[Handler] = None
         self._links: dict[int, _PeerLink] = {}
         self._server: Optional[asyncio.AbstractServer] = None
+        self._accepted: set[asyncio.StreamWriter] = set()
         self._closed = False
 
     @property
     def bytes_out(self) -> int:
         return sum(link.bytes_out for link in self._links.values())
+
+    def liveness(self) -> dict[int, bool]:
+        """Which peers hold an established outbound connection right now.
+
+        The heartbeat is the TCP connection itself: a downed peer's link
+        flips to False within one write or one backoff probe
+        (≤ :data:`CONNECT_RETRY_MAX` plus jitter), and back to True as
+        soon as a reconnect lands.
+        """
+        return {node: link.connected for node, link in self._links.items()}
 
     # -- lifecycle -----------------------------------------------------
 
@@ -116,20 +254,39 @@ class LiveNetwork(Transport):
         for node, port in self.ports.items():
             if node == self.node_id:
                 continue
-            link = _PeerLink(self.host, port)
+            link = _PeerLink(
+                node, self.host, port, self.stats, shaper=self.shaper
+            )
             link.task = loop.create_task(link.run())
             self._links[node] = link
 
-    async def close(self) -> None:
+    async def close(self, drain_timeout: float = 5.0) -> None:
+        """Stop the fabric, draining queued frames where peers are up.
+
+        Links to unreachable peers (and links whose shaper is throttling
+        them below the drain budget) are cancelled after
+        ``drain_timeout`` so shutdown never hangs on a dead or squeezed
+        connection.
+        """
         self._closed = True
         for link in self._links.values():
-            link.queue.put_nowait(None)
+            link.close()
         tasks = [link.task for link in self._links.values() if link.task]
         if tasks:
-            await asyncio.gather(*tasks, return_exceptions=True)
+            _, pending = await asyncio.wait(tasks, timeout=drain_timeout)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        # Drop accepted inbound connections too: a process exit would
+        # close them at the kernel; an in-process close (tests, client
+        # driver) must look the same to peers, or their links report a
+        # closed endpoint as live forever.
+        for writer in list(self._accepted):
+            writer.close()
 
     # -- Transport surface ---------------------------------------------
 
@@ -156,6 +313,8 @@ class LiveNetwork(Transport):
         if dst == self.node_id:
             # Loopback: deliver on the next loop tick, like the
             # simulator's zero-delay local delivery — never re-entrantly.
+            # Loopback is never shaped: partitions/loss model the fabric
+            # between processes, and a replica always reaches itself.
             envelope = Envelope(
                 src, dst, kind, 0.0, payload, channel, self.scheduler.now
             )
@@ -164,9 +323,14 @@ class LiveNetwork(Transport):
         link = self._links.get(dst)
         if link is None:
             raise ValueError(f"send to unknown node {dst}")
+        if self.shaper is not None and self.shaper.drops(
+            src, dst, kind, channel
+        ):
+            self.stats.messages_dropped += 1
+            return
         frame = encode_frame(src, kind, channel, payload)
         self.stats.record_send(src, kind, len(frame))
-        link.queue.put_nowait(frame)
+        link.enqueue(frame, channel)
 
     def broadcast(
         self,
@@ -193,6 +357,7 @@ class LiveNetwork(Transport):
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         decoder = FrameDecoder()
+        self._accepted.add(writer)
         try:
             while True:
                 data = await reader.read(64 * 1024)
@@ -214,6 +379,7 @@ class LiveNetwork(Transport):
             # tasks); swallowing keeps shutdown quiet.
             pass
         finally:
+            self._accepted.discard(writer)
             writer.close()
 
     def _dispatch(self, envelope: Envelope) -> None:

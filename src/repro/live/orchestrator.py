@@ -1,16 +1,25 @@
 """Live run orchestrator: n replica processes + 1 in-process client.
 
 ``run_live`` takes the same :class:`ExperimentConfig` the simulator
-takes (topology/fault fields are ignored — the localhost kernel path
-*is* the network), spawns one OS process per replica, drives the
-workload from the parent, and merges the per-replica results back into
-the :class:`MetricsHub` report format so live and simulated numbers are
+takes (topology fields are ignored — the localhost kernel path *is* the
+network), spawns one OS process per replica, drives the workload from
+the parent, and merges the per-replica results back into the
+:class:`MetricsHub` report format so live and simulated numbers are
 directly comparable.
 
 Merging recovers the sim's measurement semantics: every replica records
 every block it commits locally, and the parent deduplicates by block id
 keeping the *earliest* wall-clock commit — the live equivalent of "the
 first correct replica to commit reports it".
+
+Chaos runs (``LiveConfig.faults``) execute the schedule's crash/restart
+timeline via :class:`~repro.live.chaos.LiveFaultInjector` — SIGKILL and
+fresh-interpreter respawn against the same port map — while its link
+faults ship to every replica as shaping windows. The merged report then
+carries the same per-fault-window recovery metrics
+(:meth:`MetricsHub.fault_report`) the simulator produces, and the oracle
+replay runs over event logs streamed to disk, so even a SIGKILLed
+incarnation's record survives into the safety check.
 """
 
 from __future__ import annotations
@@ -21,11 +30,13 @@ import multiprocessing
 import socket
 import tempfile
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
+from repro.faults import FaultSchedule
 from repro.harness.config import ExperimentConfig
+from repro.live.chaos import LiveFaultInjector
 from repro.live.client import run_client
 from repro.live.replica_proc import replica_main
 from repro.live.verify import verify_events
@@ -51,6 +62,17 @@ class LiveConfig:
     startup_grace: float = DEFAULT_STARTUP_GRACE
     #: Directory for per-replica result JSON files (a temp dir when None).
     scratch_dir: Optional[str] = None
+    #: Scripted fault schedule executed against the live cluster
+    #: (crash/restart as SIGKILL/respawn, link faults as frame shaping).
+    #: Falls back to ``experiment.faults`` so a config written for the
+    #: simulator runs unchanged.
+    faults: Optional[FaultSchedule] = None
+
+    def __post_init__(self) -> None:
+        if self.faults is None:
+            self.faults = self.experiment.faults
+        if self.faults is not None:
+            self.faults.validate_live(self.experiment.protocol.n)
 
 
 class _FixedClock:
@@ -76,6 +98,11 @@ class LiveRunResult:
     per_replica: list[dict]
     violations: list[Violation]
     wall_clock_s: float
+    #: Per-fault-window recovery metrics (same shape as the sim's
+    #: ``MetricsHub.fault_report``); empty for fault-free runs.
+    fault_report: list[dict] = field(default_factory=list)
+    #: Process faults as applied: scheduled vs actual wall time.
+    fault_timeline: list[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -96,6 +123,15 @@ class LiveRunResult:
             "wall_clock_s": self.wall_clock_s,
             "per_replica": self.per_replica,
             "violations": [v.to_dict() for v in self.violations],
+            "fault_report": [
+                {
+                    key: (None if isinstance(value, float)
+                          and value == float("inf") else value)
+                    for key, value in entry.items()
+                }
+                for entry in self.fault_report
+            ],
+            "fault_timeline": self.fault_timeline,
             "config": self.config.to_dict(),
         }
 
@@ -121,11 +157,104 @@ def allocate_ports(n: int, host: str = "127.0.0.1") -> dict[int, int]:
     return ports
 
 
+@dataclass
+class _Incarnation:
+    """One OS process serving one replica id for part (or all) of a run."""
+
+    node_id: int
+    generation: int
+    process: multiprocessing.Process
+    result_path: str
+    events_path: str
+    #: True when the chaos injector SIGKILLed it: its nonzero exit and
+    #: missing result file are the *point*, not failures.
+    killed: bool = False
+
+
+class _ProcessTable:
+    """Spawn/kill bookkeeping shared by ``run_live`` and the injector."""
+
+    def __init__(self, context, base_spec: dict, scratch: str) -> None:
+        self._context = context
+        self._base_spec = base_spec
+        self._scratch = scratch
+        self.all: list[_Incarnation] = []
+        self.current: dict[int, _Incarnation] = {}
+
+    def spawn(self, node_id: int) -> _Incarnation:
+        generation = (
+            self.current[node_id].generation + 1
+            if node_id in self.current else 0
+        )
+        stem = f"replica-{node_id}-g{generation}"
+        spec = dict(self._base_spec)
+        spec["node_id"] = node_id
+        spec["generation"] = generation
+        spec["result_path"] = str(Path(self._scratch) / f"{stem}.json")
+        spec["events_path"] = str(Path(self._scratch) / f"{stem}.events.jsonl")
+        process = self._context.Process(
+            target=replica_main, args=(spec,), daemon=True
+        )
+        process.start()
+        incarnation = _Incarnation(
+            node_id=node_id,
+            generation=generation,
+            process=process,
+            result_path=spec["result_path"],
+            events_path=spec["events_path"],
+        )
+        self.all.append(incarnation)
+        self.current[node_id] = incarnation
+        return incarnation
+
+    def kill(self, node_id: int) -> None:
+        incarnation = self.current[node_id]
+        incarnation.killed = True
+        if incarnation.process.is_alive():
+            incarnation.process.kill()
+
+
+def _read_events(table: _ProcessTable, failures: list[str]) -> list[dict]:
+    """Merge every incarnation's streamed event log.
+
+    Tolerates a truncated final line on killed incarnations (SIGKILL
+    can land mid-write); any other unreadable line is a real failure.
+    """
+    events: list[dict] = []
+    for incarnation in table.all:
+        try:
+            with open(incarnation.events_path, encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            if not incarnation.killed:
+                failures.append(
+                    f"replica {incarnation.node_id} "
+                    f"(gen {incarnation.generation}) produced no event log"
+                )
+            continue
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                if incarnation.killed and index == len(lines) - 1:
+                    continue  # torn final write under SIGKILL
+                failures.append(
+                    f"replica {incarnation.node_id} event log line "
+                    f"{index + 1} unreadable"
+                )
+    return events
+
+
 def _merge(
     config: ExperimentConfig,
     replica_results: list[dict],
+    events: list[dict],
     emitted_tx: int,
     wall_clock_s: float,
+    schedule: Optional[FaultSchedule] = None,
+    fault_timeline: Optional[list[dict]] = None,
 ) -> LiveRunResult:
     hub = MetricsHub(_FixedClock(config.end_time))
     commits = sorted(
@@ -145,10 +274,13 @@ def _merge(
             commit_time=commit["commit_time"],
         )
 
-    events = [
-        event for result in replica_results for event in result["events"]
-    ]
     violations = verify_events(events, emitted_tx)
+
+    fault_report: list[dict] = []
+    if schedule is not None:
+        for window in schedule.windows():
+            hub.record_fault_window(window)
+        fault_report = hub.fault_report()
 
     start, end = config.warmup, config.end_time
     return LiveRunResult(
@@ -167,16 +299,48 @@ def _merge(
         per_replica=[
             {
                 "node_id": result["node_id"],
+                "generation": result.get("generation", 0),
                 "commits": len(result["commits"]),
                 "bytes_in": result["bytes_in"],
                 "bytes_out": result["bytes_out"],
                 "messages_delivered": result["messages_delivered"],
+                "frames_dropped": result.get("frames_dropped", 0),
+                "queue_high_watermark": result.get("queue_high_watermark", 0),
+                "reconnects": result.get("reconnects", 0),
+                "frames_shed": result.get("frames_shed", 0),
             }
-            for result in sorted(replica_results, key=lambda r: r["node_id"])
+            for result in sorted(
+                replica_results,
+                key=lambda r: (r["node_id"], r.get("generation", 0)),
+            )
         ],
         violations=violations,
         wall_clock_s=wall_clock_s,
+        fault_report=fault_report,
+        fault_timeline=list(fault_timeline or []),
     )
+
+
+async def _drive(
+    config: ExperimentConfig,
+    ports: dict[int, int],
+    epoch: float,
+    injector: Optional[LiveFaultInjector],
+) -> int:
+    """Run the client driver and the fault timeline concurrently."""
+    client = asyncio.ensure_future(run_client(config, ports, epoch))
+    if injector is None:
+        return await client
+    chaos = asyncio.ensure_future(injector.run())
+    try:
+        emitted = await client
+    finally:
+        # The timeline normally ends before the workload; if the client
+        # died early, don't leave kills/respawns firing unsupervised.
+        if not chaos.done():
+            chaos.cancel()
+        await asyncio.gather(chaos, return_exceptions=True)
+    return emitted
 
 
 def run_live(live: LiveConfig) -> LiveRunResult:
@@ -186,34 +350,36 @@ def run_live(live: LiveConfig) -> LiveRunResult:
     started = time.perf_counter()
     ports = allocate_ports(n, live.host)
     epoch = time.time() + live.startup_grace
+    schedule = live.faults
 
     context = multiprocessing.get_context("spawn")
     with tempfile.TemporaryDirectory(dir=live.scratch_dir) as scratch:
-        processes = []
-        result_paths = []
+        base_spec = {
+            "ports": {str(node): port for node, port in ports.items()},
+            "epoch": epoch,
+            "end_time": config.end_time,
+            "seed": config.seed,
+            "protocol": config.protocol.to_dict(),
+        }
+        if schedule is not None:
+            shaping = schedule.shaping_spec()
+            if shaping:
+                base_spec["shaping"] = shaping
+        table = _ProcessTable(context, base_spec, scratch)
         for node_id in range(n):
-            result_path = str(Path(scratch) / f"replica-{node_id}.json")
-            result_paths.append(result_path)
-            spec = {
-                "node_id": node_id,
-                "ports": {str(node): port for node, port in ports.items()},
-                "epoch": epoch,
-                "end_time": config.end_time,
-                "seed": config.seed,
-                "protocol": config.protocol.to_dict(),
-                "result_path": result_path,
-            }
-            process = context.Process(
-                target=replica_main, args=(spec,), daemon=True
-            )
-            process.start()
-            processes.append(process)
+            table.spawn(node_id)
 
-        emitted_tx = asyncio.run(run_client(config, ports, epoch))
+        injector = None
+        if schedule is not None and schedule.process_events():
+            injector = LiveFaultInjector(
+                schedule, epoch, kill=table.kill, respawn=table.spawn
+            )
+        emitted_tx = asyncio.run(_drive(config, ports, epoch, injector))
 
         deadline = epoch + config.end_time + JOIN_SLACK
         failures = []
-        for process in processes:
+        for incarnation in table.all:
+            process = incarnation.process
             process.join(timeout=max(0.5, deadline - time.time()))
             if process.is_alive():
                 process.terminate()
@@ -222,18 +388,27 @@ def run_live(live: LiveConfig) -> LiveRunResult:
                     process.kill()
                     process.join()
                 failures.append(f"replica pid {process.pid} hung; killed")
+            elif incarnation.killed:
+                # SIGKILL by the chaos injector: -9 is the expected exit.
+                pass
             elif process.exitcode not in (0, -15):
                 failures.append(
                     f"replica pid {process.pid} exited {process.exitcode}"
                 )
 
         replica_results = []
-        for node_id, result_path in enumerate(result_paths):
+        for incarnation in table.all:
             try:
-                with open(result_path, encoding="utf-8") as handle:
+                with open(incarnation.result_path, encoding="utf-8") as handle:
                     replica_results.append(json.load(handle))
             except (OSError, ValueError):
-                failures.append(f"replica {node_id} produced no result file")
+                if not incarnation.killed:
+                    failures.append(
+                        f"replica {incarnation.node_id} "
+                        f"(gen {incarnation.generation}) "
+                        "produced no result file"
+                    )
+        events = _read_events(table, failures)
 
     if not replica_results:
         raise RuntimeError(
@@ -241,8 +416,10 @@ def run_live(live: LiveConfig) -> LiveRunResult:
         )
 
     result = _merge(
-        config, replica_results, emitted_tx,
+        config, replica_results, events, emitted_tx,
         wall_clock_s=time.perf_counter() - started,
+        schedule=schedule,
+        fault_timeline=injector.timeline if injector is not None else None,
     )
     for failure in failures:
         result.violations.append(Violation(

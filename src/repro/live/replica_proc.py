@@ -18,8 +18,18 @@ Differences from the sim wiring, all environmental:
   :class:`MetricsHub`; the orchestrator deduplicates by block id when
   merging, recovering the sim's first-commit semantics.
 
-On exit the process writes one JSON document (metrics + recorded
-commit/microblock events for oracle replay) to ``spec["result_path"]``.
+On exit the process writes one JSON document (metrics summary) to
+``spec["result_path"]``. Protocol events for oracle replay stream to
+``spec["events_path"]`` as flushed JSONL *as they happen*: a replica
+SIGKILLed by the chaos layer loses its end-of-run summary but not its
+event record, so the orchestrator's safety/ledger replay stays complete
+across crash faults (a microblock is recorded before it is broadcast —
+if it reached any peer, its creation line reached the page cache).
+
+Chaos wiring: ``spec["shaping"]`` (when present) is the schedule's
+link-shaping window list; it builds a :class:`LinkShaper` seeded from
+``(seed, generation, node_id)`` so loss decisions differ across respawn
+generations but replay identically for a fixed spec.
 """
 
 from __future__ import annotations
@@ -28,10 +38,10 @@ import asyncio
 import json
 import random
 import signal
-import time
 
 from repro.config import ProtocolConfig
 from repro.consensus import CONSENSUS_CLASSES
+from repro.live.chaos import LinkShaper
 from repro.live.network import LiveNetwork
 from repro.live.scheduler import RealtimeScheduler
 from repro.live.wire import to_wire
@@ -70,7 +80,7 @@ class RecordingMetricsHub(MetricsHub):
 
 
 class LiveRecorder:
-    """Replica observer capturing wire-encoded protocol events.
+    """Replica observer streaming wire-encoded protocol events to disk.
 
     The orchestrator replays the merged, time-sorted event stream from
     all replicas through the real :class:`repro.verification` oracles
@@ -78,31 +88,44 @@ class LiveRecorder:
     keeps the record JSON-able and double-checks event purity.
     ``on_block_resolved`` is not recorded: ``Block`` objects are local
     assembly state, not wire data, and no live oracle consumes them.
+
+    Events are written line-by-line with an explicit flush so they
+    survive SIGKILL: a crash loses at most work the kernel never saw,
+    and a microblock's creation line is flushed *before* the mempool
+    broadcasts it (``notify_microblock`` precedes ``_emit``), so the
+    ledger oracle can never see a commit of a microblock whose creation
+    record died with its origin.
     """
 
-    def __init__(self, scheduler: Scheduler, node_id: int) -> None:
+    def __init__(self, scheduler: Scheduler, node_id: int,
+                 events_path: str) -> None:
         self._scheduler = scheduler
         self._node_id = node_id
-        self.events: list[dict] = []
+        self._file = open(events_path, "w", encoding="utf-8")
+        self.events_recorded = 0
+
+    def _record(self, kind: str, data) -> None:
+        json.dump({
+            "t": self._scheduler.now,
+            "node": self._node_id,
+            "kind": kind,
+            "data": to_wire(data),
+        }, self._file)
+        self._file.write("\n")
+        self._file.flush()
+        self.events_recorded += 1
 
     def on_local_commit(self, replica, proposal) -> None:
-        self.events.append({
-            "t": self._scheduler.now,
-            "node": self._node_id,
-            "kind": "commit",
-            "data": to_wire(proposal),
-        })
+        self._record("commit", proposal)
 
     def on_microblock_created(self, replica, microblock) -> None:
-        self.events.append({
-            "t": self._scheduler.now,
-            "node": self._node_id,
-            "kind": "mb",
-            "data": to_wire(microblock),
-        })
+        self._record("mb", microblock)
 
     def on_block_resolved(self, replica, block) -> None:
         pass
+
+    def close(self) -> None:
+        self._file.close()
 
 
 def build_replica(
@@ -131,8 +154,19 @@ def build_replica(
     consensus = CONSENSUS_CLASSES[protocol.consensus](
         replica, mempool, protocol
     )
+    generation = spec.get("generation", 0)
+    if generation:
+        # A respawned interpreter forgets its local counters; give each
+        # incarnation a disjoint id range (2^32 ids apiece) so the
+        # (origin, counter) microblock *and* block ids keep the
+        # uniqueness the paper's content-hash ids have by construction.
+        # Without the block rebase, peers silently drop the new
+        # incarnation's proposals as duplicates of pre-crash ids and
+        # every view it leads times out.
+        mempool.rebase_microblock_ids(generation << 32)
+        consensus.rebase_block_ids(generation << 32)
     replica.attach(mempool, consensus)
-    recorder = LiveRecorder(scheduler, node_id)
+    recorder = LiveRecorder(scheduler, node_id, spec["events_path"])
     replica.observer = recorder
     network.client_handler = (
         lambda envelope: replica.on_client_batch(envelope.payload)
@@ -144,7 +178,16 @@ async def _run(spec: dict) -> dict:
     loop = asyncio.get_running_loop()
     scheduler = RealtimeScheduler(loop, epoch=spec["epoch"])
     ports = {int(node): port for node, port in spec["ports"].items()}
-    network = LiveNetwork(spec["node_id"], ports, scheduler)
+    shaper = None
+    if spec.get("shaping"):
+        generation = spec.get("generation", 0)
+        shaper = LinkShaper(
+            spec["node_id"], spec["shaping"], scheduler,
+            random.Random(
+                (spec["seed"] << 24) | (generation << 16) | spec["node_id"]
+            ),
+        )
+    network = LiveNetwork(spec["node_id"], ports, scheduler, shaper=shaper)
     await network.start()
 
     replica, recorder = build_replica(spec, scheduler, network)
@@ -157,10 +200,9 @@ async def _run(spec: dict) -> dict:
             pass
 
     # All processes share the epoch; starting consensus at t=0 on each
-    # replica keeps their view timers roughly in phase.
-    start_delay = spec["epoch"] - time.time()
-    if start_delay > 0:
-        await asyncio.sleep(start_delay)
+    # replica keeps their view timers roughly in phase. A respawned
+    # replica (chaos restart) is past t=0 already and starts at once.
+    await scheduler.sleep_until(0.0)
     replica.start()
 
     remaining = spec["end_time"] + SHUTDOWN_GRACE - scheduler.now
@@ -172,10 +214,12 @@ async def _run(spec: dict) -> dict:
 
     replica.consensus.suspend()
     await network.close()
+    recorder.close()
 
     metrics = replica.metrics
     return {
         "node_id": spec["node_id"],
+        "generation": spec.get("generation", 0),
         "commits": [
             {
                 "block_id": rec.block_id,
@@ -190,7 +234,10 @@ async def _run(spec: dict) -> dict:
         "bytes_in": network.bytes_in,
         "bytes_out": network.bytes_out,
         "messages_delivered": network.stats.messages_delivered,
-        "events": recorder.events,
+        "frames_dropped": network.stats.frames_dropped,
+        "queue_high_watermark": network.stats.queue_high_watermark,
+        "reconnects": network.stats.reconnects,
+        "frames_shed": shaper.frames_shed if shaper is not None else 0,
     }
 
 

@@ -78,3 +78,15 @@ class RealtimeScheduler(Scheduler):
 
     def schedule_at(self, time_: float, callback: Callable[[], None]) -> LiveTimer:
         return self.schedule(time_ - self.now, callback)
+
+    async def sleep_until(self, time_: float) -> None:
+        """Async-sleep until protocol time ``time_`` (no-op if past).
+
+        Shared by everything that waits on the epoch — replica start
+        barriers, the client driver, the chaos injector's fault
+        timeline — so "t seconds into the run" means the same wall
+        instant in every process.
+        """
+        delay = time_ - self.now
+        if delay > 0:
+            await asyncio.sleep(delay)

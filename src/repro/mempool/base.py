@@ -82,6 +82,22 @@ class Mempool(abc.ABC):
     def on_client_batch(self, batch: TxBatch) -> None:
         """``ReceiveTx``: accept transactions from a client."""
 
+    def rebase_microblock_ids(self, base: int) -> None:
+        """Start this replica's local microblock counter at ``base``.
+
+        The repo's integer microblock ids stand in for the paper's
+        content hashes: ``(origin, counter)`` is unique only while the
+        counter survives. A restarted live replica boots a fresh
+        interpreter whose counter would re-issue pre-crash ids for
+        *different* transactions — an id collision real content-hash ids
+        cannot have. The live runtime calls this with a per-incarnation
+        base (``generation << 32``) to keep each incarnation's ids
+        disjoint. Must be called before the first microblock is cut.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support id rebasing"
+        )
+
     # -- leader side -----------------------------------------------------
 
     @abc.abstractmethod

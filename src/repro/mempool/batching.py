@@ -35,6 +35,7 @@ class MicroBlockBatcher:
         self._pending_count = 0
         self._pending_sum_arrival = 0.0
         self._counter = 0
+        self._base = 0
         self._flush_timer: Optional[Timer] = None
 
     @property
@@ -43,7 +44,13 @@ class MicroBlockBatcher:
 
     @property
     def microblocks_emitted(self) -> int:
-        return self._counter
+        return self._counter - self._base
+
+    def rebase(self, base: int) -> None:
+        """Start ids at ``base`` (see ``Mempool.rebase_microblock_ids``)."""
+        if self.microblocks_emitted:
+            raise RuntimeError("cannot rebase after emitting microblocks")
+        self._counter = self._base = base
 
     def add(self, batch: TxBatch) -> None:
         """Absorb a client batch; emit microblocks as they fill."""

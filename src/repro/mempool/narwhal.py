@@ -62,6 +62,9 @@ class NarwhalMempool(Mempool):
     def on_client_batch(self, batch: TxBatch) -> None:
         self._batcher.add(batch)
 
+    def rebase_microblock_ids(self, base: int) -> None:
+        self._batcher.rebase(base)
+
     def _on_new_microblock(self, microblock: MicroBlock) -> None:
         self.store.add(microblock)
         targets = self.host.behavior.share_targets(

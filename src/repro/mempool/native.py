@@ -81,6 +81,9 @@ class NativeMempool(Mempool):
     def on_client_batch(self, batch: TxBatch) -> None:
         self._pool.add(batch)
 
+    def rebase_microblock_ids(self, base: int) -> None:
+        self._counter = base
+
     def make_payload(self) -> Payload:
         count, sum_arrival = self._pool.draw(self.config.native_block_bytes)
         if count == 0:

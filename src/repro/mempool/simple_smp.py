@@ -46,6 +46,9 @@ class SimpleSharedMempool(Mempool):
     def on_client_batch(self, batch: TxBatch) -> None:
         self._batcher.add(batch)
 
+    def rebase_microblock_ids(self, base: int) -> None:
+        self._batcher.rebase(base)
+
     def _on_new_microblock(self, microblock: MicroBlock) -> None:
         """ShareTx: broadcast a freshly batched microblock best-effort."""
         self.store.add(microblock)

@@ -70,6 +70,9 @@ class StratusMempool(Mempool):
     def on_client_batch(self, batch: TxBatch) -> None:
         self._batcher.add(batch)
 
+    def rebase_microblock_ids(self, base: int) -> None:
+        self._batcher.rebase(base)
+
     def _on_new_microblock(self, microblock: MicroBlock) -> None:
         self.host.trace(
             "mb_new", mb=microblock.id, txs=microblock.tx_count,

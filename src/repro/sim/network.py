@@ -50,6 +50,12 @@ class NetworkStats:
     messages_sent: dict[str, int] = field(default_factory=dict)
     messages_delivered: int = 0
     messages_dropped: int = 0
+    # Live-backend gauges (always 0 in-sim): frames shed by the bounded
+    # per-peer send queues, the deepest those queues ever got, and how
+    # many times a peer link re-established a dropped TCP connection.
+    frames_dropped: int = 0
+    queue_high_watermark: int = 0
+    reconnects: int = 0
     # Running totals so the per-node/per-kind queries below stay O(1) —
     # they are called inside benchmark loops.
     _node_totals: dict[int, float] = field(default_factory=dict)

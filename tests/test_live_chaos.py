@@ -1,0 +1,310 @@
+"""Live chaos tests: shaping-hook units, backpressure/reconnect units,
+and the kill/respawn + partition/heal smoke runs the acceptance criteria
+demand (a SIGKILLed replica must rejoin over TCP and commit again)."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.config import ProtocolConfig
+from repro.harness.config import ExperimentConfig
+from repro.harness.presets import chaos_schedule, resolve_fault_spec
+from repro.faults import (
+    FaultSchedule,
+    Heal,
+    LossWindow,
+    Partition,
+    SwapBehavior,
+)
+from repro.live.chaos import LinkShaper, LIVE_LINK_BANDWIDTH_BPS
+from repro.live.network import DATA_QUEUE_CAP, LiveNetwork, _PeerLink
+from repro.live.orchestrator import LiveConfig, allocate_ports, run_live
+from repro.live.scheduler import RealtimeScheduler
+from repro.mempool.base import MessageKinds
+from repro.sim.interfaces import Channel
+from repro.sim.network import NetworkStats
+
+
+class _Clock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+
+# -- LinkShaper units --------------------------------------------------------
+
+def _shaper(windows, node_id=0, seed=7, clock=None):
+    return LinkShaper(
+        node_id, windows, clock or _Clock(), random.Random(seed)
+    )
+
+
+def test_shaper_partition_drops_cross_group_frames_only():
+    windows = FaultSchedule([
+        Partition(at=1.0, duration=2.0, groups=((0, 1),)),
+    ]).shaping_spec()
+    clock = _Clock(1.5)
+    shaper = _shaper(windows, clock=clock)
+    # 0 and 1 share a group; 2 and 3 fall into the implicit rest group.
+    assert not shaper.drops(0, 1, MessageKinds.PROPOSAL, Channel.CONSENSUS)
+    assert not shaper.drops(2, 3, MessageKinds.PROPOSAL, Channel.CONSENSUS)
+    assert shaper.drops(0, 2, MessageKinds.PROPOSAL, Channel.CONSENSUS)
+    assert shaper.drops(3, 1, MessageKinds.PROPOSAL, Channel.CONSENSUS)
+    assert shaper.frames_shed == 2
+    # Outside the window nothing drops.
+    clock.now = 3.5
+    assert not shaper.drops(0, 2, MessageKinds.PROPOSAL, Channel.CONSENSUS)
+
+
+def test_shaper_heal_closes_the_partition_window():
+    windows = FaultSchedule([
+        Partition(at=1.0, duration=None, groups=((0, 1),)),
+        Heal(at=4.0),
+    ]).shaping_spec()
+    clock = _Clock(2.0)
+    shaper = _shaper(windows, clock=clock)
+    assert shaper.drops(0, 2, MessageKinds.VOTE, Channel.CONSENSUS)
+    clock.now = 4.5
+    assert not shaper.drops(0, 2, MessageKinds.VOTE, Channel.CONSENSUS)
+
+
+def test_shaper_loss_respects_channel_filter_and_seed():
+    windows = FaultSchedule([
+        LossWindow(at=0.0, duration=10.0, rate=0.5, channel="data"),
+    ]).shaping_spec()
+
+    def run(seed):
+        shaper = _shaper(windows, seed=seed, clock=_Clock(1.0))
+        return [
+            shaper.drops(0, 1, MessageKinds.MICROBLOCK, Channel.DATA)
+            for _ in range(64)
+        ]
+
+    # Consensus frames never match a data-channel loss window.
+    shaper = _shaper(windows, clock=_Clock(1.0))
+    assert not any(
+        shaper.drops(0, 1, MessageKinds.VOTE, Channel.CONSENSUS)
+        for _ in range(64)
+    )
+    assert shaper.frames_shed == 0
+    # Same seed, same coin flips — the determinism the respawn-seeded
+    # rng (seed, generation, node) relies on. Different seeds diverge.
+    first, second = run(31), run(31)
+    assert first == second
+    assert any(first)
+    assert not all(first)
+    assert run(32) != first
+
+
+def test_shaper_delay_window_samples_base_plus_jitter():
+    # Pure latency spike: bandwidth_factor 1.0 keeps the token bucket
+    # out, so the sampled hold time is exactly base ± jitter.
+    windows = [{
+        "kind": "delay", "start": 1.0, "end": 2.0,
+        "base": 0.1, "jitter": 0.05, "bandwidth_factor": 1.0,
+    }]
+    clock = _Clock(1.5)
+    shaper = _shaper(windows, clock=clock)
+    for _ in range(32):
+        delay = shaper.write_delay(1, 1024, Channel.DATA)
+        assert 0.05 <= delay <= 0.15
+    clock.now = 2.5
+    assert shaper.write_delay(1, 1024, Channel.DATA) == 0.0
+
+
+def test_shaper_bandwidth_squeeze_throttles_via_token_bucket():
+    windows = [{
+        "kind": "bandwidth", "start": 0.0, "end": 100.0,
+        "factor": 0.1, "nodes": [0],
+    }]
+    clock = _Clock(1.0)
+    shaper = _shaper(windows, node_id=0, clock=clock)
+    rate = LIVE_LINK_BANDWIDTH_BPS * 0.1 / 8.0  # shaped bytes/s
+    # The first burst's worth passes free; past it, hold time is the
+    # token deficit over the shaped rate.
+    assert shaper.write_delay(1, 256 * 1024, Channel.DATA) == 0.0
+    delay = shaper.write_delay(1, 1024 * 1024, Channel.DATA)
+    assert delay == pytest.approx(1024 * 1024 / rate, rel=0.01)
+    # A squeeze scoped to node 0 leaves other nodes unshaped.
+    other = _shaper(windows, node_id=2, clock=clock)
+    assert other.write_delay(1, 1024 * 1024, Channel.DATA) == 0.0
+
+
+# -- schedule plumbing -------------------------------------------------------
+
+def test_resolve_fault_spec_shares_one_grammar():
+    preset = resolve_fault_spec("crash-restart", 4)
+    assert len(preset.process_events()) == 2
+    inline = resolve_fault_spec(
+        '[{"event": "loss", "at": 1.0, "duration": 2.0, "rate": 0.5}]', 4
+    )
+    assert inline.shaping_spec()[0]["kind"] == "loss"
+    with pytest.raises(ValueError, match="not found"):
+        resolve_fault_spec("@/nonexistent/schedule.json", 4)
+    with pytest.raises(ValueError):
+        resolve_fault_spec("crash-restart", 2)  # presets need n >= 4
+
+
+def test_validate_live_rejects_behavior_swaps():
+    schedule = FaultSchedule([
+        SwapBehavior(at=1.0, node=0, behavior="silent"),
+    ])
+    schedule.validate(4)  # fine in-sim
+    with pytest.raises(ValueError, match="live backend"):
+        schedule.validate_live(4)
+    config = ExperimentConfig(
+        protocol=ProtocolConfig(n=4, mempool="stratus", consensus="hotstuff"),
+        rate_tps=10.0, duration=1.0, faults=schedule,
+    )
+    with pytest.raises(ValueError, match="live backend"):
+        LiveConfig(experiment=config)  # inherits experiment.faults
+
+
+def test_every_chaos_preset_splits_cleanly_for_live():
+    for name in (
+        "crash-restart", "crash-partition", "fig7-disturbance",
+        "flaky-data", "leader-squeeze",
+    ):
+        schedule = chaos_schedule(name, 4)
+        schedule.validate_live(4)
+        split = len(schedule.process_events()) + len(schedule.shaping_spec())
+        assert split == len(schedule.events)
+
+
+# -- backpressure / reconnection units ---------------------------------------
+
+def test_peer_link_bounds_queues_and_sheds_data_first():
+    async def scenario():
+        stats = NetworkStats()
+        link = _PeerLink(1, "127.0.0.1", 1, stats)  # nothing listens
+        for _ in range(DATA_QUEUE_CAP + 10):
+            link.enqueue(b"x" * 8, Channel.DATA)
+        assert stats.frames_dropped == 10
+        assert link.queued == DATA_QUEUE_CAP
+        # Consensus frames still board: data backlog never starves votes.
+        assert link.enqueue(b"v" * 8, Channel.CONSENSUS)
+        assert stats.queue_high_watermark == DATA_QUEUE_CAP + 1
+
+    asyncio.run(scenario())
+
+
+def test_live_network_reconnects_after_peer_restart():
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        ports = allocate_ports(2)
+        scheduler = RealtimeScheduler(loop)
+        alice = LiveNetwork(0, ports, scheduler)
+        received = []
+        alice.register(0, lambda env: received.append(env.payload))
+        await alice.start()
+
+        # First life: wait until alice's outbound link is established
+        # (a frame actually lands at bob), then kill bob.
+        bob_received = []
+        bob = LiveNetwork(1, ports, scheduler)
+        bob.register(1, lambda env: bob_received.append(env.payload))
+        await bob.start()
+        bob.send(1, 0, MessageKinds.VOTE, 8, 0)
+        alice.send(0, 1, MessageKinds.VOTE, 8, "ping")
+        deadline = loop.time() + 5.0
+        while (
+            not bob_received or not received
+        ) and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        assert received == [0] and bob_received == ["ping"]
+        await bob.close()
+
+        # Bob's port is dark now. The TCP connection *is* the heartbeat:
+        # writes into the dead socket surface the reset within a write
+        # or two, flipping the link down, and the writer keeps probing
+        # with backoff.
+        deadline = loop.time() + 5.0
+        while alice.liveness()[1] and loop.time() < deadline:
+            alice.send(0, 1, MessageKinds.VOTE, 8, "into the void")
+            await asyncio.sleep(0.02)
+        assert alice.liveness() == {1: False}
+
+        # Respawn on the same port: alice's backoff loop must pick the
+        # fresh incarnation up without any restart of alice.
+        bob = LiveNetwork(1, ports, scheduler)
+        await bob.start()
+        bob.send(1, 0, MessageKinds.VOTE, 8, 1)
+        deadline = loop.time() + 5.0
+        while (
+            len(received) < 2 or not alice.liveness()[1]
+        ) and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        assert received == [0, 1]
+        assert alice.liveness() == {1: True}
+        assert alice.stats.reconnects >= 1
+        await bob.close()
+        await alice.close()
+
+    asyncio.run(scenario())
+
+
+# -- live chaos smoke runs ---------------------------------------------------
+
+def _chaos_config(preset, duration=8.0, rate=200.0):
+    protocol = ProtocolConfig(
+        n=4, mempool="stratus", consensus="hotstuff",
+        batch_bytes=8 * 1024, batch_timeout=0.05, view_timeout=0.5,
+    )
+    return LiveConfig(
+        experiment=ExperimentConfig(
+            protocol=protocol, rate_tps=rate, duration=duration,
+            warmup=0.5, seed=7, label=f"chaos-{preset}",
+            faults=chaos_schedule(preset, 4),
+        ),
+        startup_grace=2.5,
+    )
+
+
+@pytest.mark.slow
+def test_live_crash_restart_respawns_and_recovers():
+    result = run_live(_chaos_config("crash-restart"))
+    assert result.violations == []
+    assert result.committed_blocks > 0
+    # The victim was SIGKILLed (its gen-0 summary died with it — only
+    # its streamed event log survives) and respawned; the respawned
+    # generation rejoined (TCP reconnect + chain sync) and committed
+    # again before the run ended.
+    victims = [row for row in result.per_replica if row["node_id"] == 3]
+    assert [row["generation"] for row in victims] == [1]
+    assert victims[0]["commits"] > 0
+    assert [e["event"] for e in result.fault_timeline] == [
+        "crash", "restart",
+    ]
+    # Recovery gauges are finite: commits resumed after the window.
+    (window,) = result.fault_report
+    assert window["kind"] == "crash"
+    assert window["time_to_recover"] != float("inf")
+    assert window["commit_gap"] != float("inf")
+
+
+@pytest.mark.slow
+def test_live_partition_heals_and_recovers():
+    schedule = FaultSchedule([
+        Partition(at=2.0, duration=1.5, groups=((0, 1),)),
+    ])
+    protocol = ProtocolConfig(
+        n=4, mempool="stratus", consensus="hotstuff",
+        batch_bytes=8 * 1024, batch_timeout=0.05, view_timeout=0.5,
+    )
+    result = run_live(LiveConfig(
+        experiment=ExperimentConfig(
+            protocol=protocol, rate_tps=200.0, duration=7.0,
+            warmup=0.5, seed=7, label="chaos-partition",
+            faults=schedule,
+        ),
+        startup_grace=2.5,
+    ))
+    assert result.violations == []
+    assert result.committed_blocks > 0
+    # Cross-group frames were shed at send time on real sockets.
+    assert sum(row["frames_shed"] for row in result.per_replica) > 0
+    # No quorum exists during a 2/2 split, so commits pause; after the
+    # heal they resume — the recovery gauge must see that.
+    (window,) = result.fault_report
+    assert window["kind"] == "partition"
+    assert window["time_to_recover"] != float("inf")
