@@ -1,0 +1,234 @@
+"""Live saturation sweep: find the committed-throughput knee per codec.
+
+Sweeps offered load over the real asyncio-TCP runtime (one OS process
+per replica, see :mod:`repro.live`) for both wire codecs — ``json``
+(v1) and ``binary`` (struct-packed v2) — at n in {4, 8, 16}, and
+records offered vs committed tps plus p99 commit latency for every
+point. The *knee* of a sweep is the point with the highest committed
+throughput: past it, extra offered load only grows queues and latency.
+
+The protocol settings deliberately shrink microblocks (8 KiB batches,
+64 tx each) so the wire path — encode, frame, pump, decode — carries
+thousands of frames per second and the codec choice is visible in the
+knee, the same trick the chaos suite uses to stress the transport.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/live/run_saturation.py          # full
+    PYTHONPATH=src python benchmarks/live/run_saturation.py --quick  # CI
+
+``--quick`` restricts the sweep to n=4 and two rates per codec so the
+CI smoke job finishes inside its timeout; the JSON document is written
+either way (``quick: true`` marks reduced sweeps).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.config import ProtocolConfig
+from repro.harness import ExperimentConfig, format_table
+from repro.live import LiveConfig, run_live
+
+BENCH_PATH = Path(__file__).resolve().parent / "BENCH_live_saturation.json"
+
+CODECS = ("binary", "json")
+
+#: Offered-load ladder per cluster size (tx/s). The ladders climb past
+#: the single-core knee for each n so the collapse side of the curve is
+#: visible (committed falls, p99 and view changes climb); n=16 runs a
+#: shorter ladder because each point costs ~startup_grace + duration
+#: wall-clock seconds across 17 interpreters.
+RATE_LADDERS = {
+    4: (40_000.0, 80_000.0, 120_000.0, 160_000.0, 200_000.0, 240_000.0,
+        280_000.0, 320_000.0),
+    8: (20_000.0, 40_000.0, 80_000.0, 120_000.0),
+    16: (5_000.0, 10_000.0, 20_000.0),
+}
+QUICK_LADDER = (40_000.0, 160_000.0)
+
+DURATION = 4.0
+WARMUP = 1.0
+#: 8 KiB batches => 64 tx per microblock: the codec-bound regime.
+BATCH_BYTES = 8 * 1024
+
+
+def _startup_grace(n: int) -> float:
+    """Seconds for n spawned interpreters to import and bind (1 core)."""
+    return 2.0 + 0.75 * n
+
+
+def _config(codec: str, n: int, rate: float) -> LiveConfig:
+    protocol = ProtocolConfig(
+        n=n, mempool="stratus", consensus="hotstuff",
+        batch_bytes=BATCH_BYTES, batch_timeout=0.05,
+        view_timeout=1.0 if n >= 16 else 0.5,
+    )
+    return LiveConfig(
+        experiment=ExperimentConfig(
+            protocol=protocol,
+            rate_tps=rate,
+            duration=DURATION,
+            warmup=WARMUP,
+            seed=23,
+            label=f"saturation-{codec}-n{n}-r{rate:.0f}",
+        ),
+        startup_grace=_startup_grace(n),
+        wire_codec=codec,
+    )
+
+
+def _run_point(codec: str, n: int, rate: float, reps: int = 1) -> dict:
+    """Measure one (codec, n, rate) point; best committed tps of ``reps``.
+
+    Saturated single-core runs are noisy — an OS hiccup near the knee
+    can cost 20% committed throughput — and interference only ever
+    *lowers* a run, so the max over a couple of repetitions is the
+    low-variance estimate of what the point sustains. Every rep is
+    kept in the document; violations from any rep count against the
+    point.
+    """
+    best = None
+    all_reps = []
+    for _ in range(max(1, reps)):
+        result = run_live(_config(codec, n, rate))
+        rep = {
+            "committed_tps": result.throughput_tps,
+            "latency_p50_ms": result.latency.percentile(50) * 1000,
+            "latency_p99_ms": result.latency.percentile(99) * 1000,
+            "committed_blocks": result.committed_blocks,
+            "committed_tx": result.committed_tx,
+            "emitted_tx": result.emitted_tx,
+            "view_changes": result.view_changes,
+            "violations": [v.to_dict() for v in result.violations],
+            "wall_clock_s": result.wall_clock_s,
+        }
+        all_reps.append(rep)
+        if best is None or rep["committed_tps"] > best["committed_tps"]:
+            best = rep
+    point = dict(best)
+    point["offered_tps"] = rate
+    point["violations"] = [
+        violation for rep in all_reps for violation in rep["violations"]
+    ]
+    point["reps"] = all_reps
+    return point
+
+
+def _knee(points: list[dict]) -> dict:
+    best = max(points, key=lambda p: p["committed_tps"])
+    return {
+        "offered_tps": best["offered_tps"],
+        "committed_tps": best["committed_tps"],
+        "latency_p99_ms": best["latency_p99_ms"],
+    }
+
+
+def run_sweep(quick: bool = False, reps: int = 2) -> dict:
+    sizes = (4,) if quick else tuple(sorted(RATE_LADDERS))
+    if quick:
+        reps = 1
+    document = {
+        "schema": "BENCH_live_saturation/1",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "quick": quick,
+        "reps_per_point": reps,
+        "duration_s": DURATION,
+        "warmup_s": WARMUP,
+        "batch_bytes": BATCH_BYTES,
+        "sweeps": {},
+        "summary": {},
+    }
+    rows = []
+    for codec in CODECS:
+        document["sweeps"][codec] = {}
+        for n in sizes:
+            ladder = QUICK_LADDER if quick else RATE_LADDERS[n]
+            points = []
+            for rate in ladder:
+                print(f"[saturation] codec={codec} n={n} "
+                      f"offered={rate:,.0f} tx/s ...", flush=True)
+                point = _run_point(codec, n, rate, reps=reps)
+                points.append(point)
+                print(f"[saturation]   committed={point['committed_tps']:,.0f}"
+                      f" tx/s  p99={point['latency_p99_ms']:.0f} ms"
+                      f"  violations={len(point['violations'])}", flush=True)
+            knee = _knee(points)
+            document["sweeps"][codec][f"n{n}"] = {
+                "points": points, "knee": knee,
+            }
+            rows.append([
+                codec, n,
+                f"{knee['offered_tps']:,.0f}",
+                f"{knee['committed_tps']:,.0f}",
+                f"{knee['latency_p99_ms']:.0f}",
+            ])
+
+    for n in sizes:
+        key = f"n{n}"
+        binary = document["sweeps"]["binary"][key]["knee"]["committed_tps"]
+        as_json = document["sweeps"]["json"][key]["knee"]["committed_tps"]
+        document["summary"][f"knee_ratio_binary_over_json_{key}"] = (
+            binary / as_json if as_json else None
+        )
+
+    print()
+    print(format_table(
+        ["codec", "n", "knee offered", "knee committed", "p99 (ms)"],
+        rows,
+        title=f"live saturation knees ({BATCH_BYTES // 1024} KiB batches, "
+              f"{DURATION:.0f}s window, localhost)",
+    ))
+    for key, ratio in document["summary"].items():
+        print(f"{key}: {ratio:.2f}x" if ratio else f"{key}: n/a")
+    return document
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced sweep (n=4, two rates per codec) for CI smoke",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=BENCH_PATH,
+        help=f"output JSON path (default: {BENCH_PATH})",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=2,
+        help="repetitions per point, best committed tps kept (full sweep "
+             "only; --quick always runs 1)",
+    )
+    args = parser.parse_args(argv)
+    document = run_sweep(quick=args.quick, reps=args.reps)
+    args.out.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"[written to {args.out}]")
+
+    failures = []
+    for codec, sweeps in document["sweeps"].items():
+        for key, sweep in sweeps.items():
+            for point in sweep["points"]:
+                if point["violations"]:
+                    failures.append(
+                        f"{codec}/{key} @ {point['offered_tps']:,.0f}: "
+                        f"{len(point['violations'])} violation(s)"
+                    )
+                if point["committed_blocks"] < 1:
+                    failures.append(
+                        f"{codec}/{key} @ {point['offered_tps']:,.0f}: "
+                        "no blocks committed"
+                    )
+    for failure in failures:
+        print(f"[saturation] FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -290,6 +290,10 @@ def build_live_parser() -> argparse.ArgumentParser:
     parser.add_argument("--startup-grace", type=float, default=None,
                         help="seconds allowed for replica processes to "
                              "boot before protocol t=0")
+    parser.add_argument("--wire-codec", choices=["binary", "json"],
+                        default="binary",
+                        help="frame format on the wire: struct-packed "
+                             "binary v2 (default) or the v1 JSON codec")
     parser.add_argument("--faults", default=None, metavar="SPEC",
                         help=FAULTS_HELP + " — crashes become SIGKILL + "
                              "respawn, link faults become real frame "
@@ -324,18 +328,23 @@ def run_live_cmd(argv: Sequence[str]) -> int:
     live = LiveConfig(
         experiment=config,
         faults=_resolve_faults_arg(args.faults, args.n, live=True),
+        wire_codec=args.wire_codec,
     )
     if args.startup_grace is not None:
         live.startup_grace = args.startup_grace
 
     print(f"live: {config.label} for {config.end_time:.0f}s wall clock "
-          f"at {config.rate_tps:,.0f} tx/s offered"
+          f"at {config.rate_tps:,.0f} tx/s offered "
+          f"({args.wire_codec} frames)"
           + (f", faults: {args.faults}" if args.faults else ""))
     result = run_live(live)
 
+    # Backpressure drops (bounded send queues) and chaos sheds (shaper
+    # partitions/loss) are different failure modes; conflating them in
+    # one column made saturated runs look like chaos and vice versa.
     print(format_table(
-        ["node", "gen", "commits", "MB in", "MB out", "msgs", "drops",
-         "reconn"],
+        ["node", "gen", "commits", "MB in", "MB out", "msgs", "bp-drop",
+         "shed", "reconn"],
         [
             [
                 entry["node_id"],
@@ -344,7 +353,8 @@ def run_live_cmd(argv: Sequence[str]) -> int:
                 f"{entry['bytes_in'] / 1e6:.2f}",
                 f"{entry['bytes_out'] / 1e6:.2f}",
                 entry["messages_delivered"],
-                entry["frames_dropped"] + entry["frames_shed"],
+                entry["frames_dropped"],
+                entry["frames_shed"],
                 entry["reconnects"],
             ]
             for entry in result.per_replica

@@ -28,11 +28,16 @@ from repro.live.chaos import LinkShaper, LiveFaultInjector
 from repro.live.orchestrator import LiveConfig, LiveRunResult, run_live
 from repro.live.scheduler import RealtimeScheduler
 from repro.live.wire import (
+    CODECS,
     MESSAGE_REGISTRY,
+    WireCodec,
     WireError,
     decode_frame,
+    decode_frame_binary,
     encode_frame,
+    encode_frame_binary,
     from_wire,
+    get_codec,
     to_wire,
 )
 
@@ -44,9 +49,14 @@ __all__ = [
     "LiveFaultInjector",
     "RealtimeScheduler",
     "MESSAGE_REGISTRY",
+    "CODECS",
+    "WireCodec",
     "WireError",
+    "get_codec",
     "encode_frame",
     "decode_frame",
+    "encode_frame_binary",
+    "decode_frame_binary",
     "to_wire",
     "from_wire",
 ]

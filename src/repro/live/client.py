@@ -48,12 +48,15 @@ def _make_selector(config: ExperimentConfig):
 
 
 async def run_client(
-    config: ExperimentConfig, ports: dict[int, int], epoch: float
+    config: ExperimentConfig,
+    ports: dict[int, int],
+    epoch: float,
+    wire_codec: str = "binary",
 ) -> int:
     """Submit the workload until ``config.end_time``; returns tx emitted."""
     loop = asyncio.get_running_loop()
     scheduler = RealtimeScheduler(loop, epoch=epoch)
-    network = LiveNetwork(CLIENT_ID, ports, scheduler)
+    network = LiveNetwork(CLIENT_ID, ports, scheduler, codec=wire_codec)
     await network.start(listen=False)
 
     proxies = [_ReplicaProxy(network, node) for node in sorted(ports)]

@@ -2,15 +2,23 @@
 
 One :class:`LiveNetwork` instance serves exactly one replica process: it
 listens on its own localhost port and keeps one outbound connection per
-peer. Frames are the length-prefixed JSON documents of
-:mod:`repro.live.wire`; per-peer, per-channel FIFO ordering falls out of
-TCP plus the single writer task per link, satisfying the
-:class:`Transport` ordering contract the protocol recovery paths rely on.
+peer. Frames are the length-prefixed bodies of :mod:`repro.live.wire`
+in the run's configured codec (binary v2 by default, JSON v1 for
+comparison); every connection opens with the codec preamble, and an
+inbound stream announcing a *different* codec is rejected — a live run
+is single-codec by construction. Per-peer, per-channel FIFO ordering
+falls out of TCP plus the single writer task per link, satisfying the
+:class:`Transport` ordering contract the protocol recovery paths rely
+on.
 
 ``send``/``broadcast`` stay synchronous (the protocol code is the same
 code that runs in-sim): they encode the frame immediately — which is
 where the codec's purity assertion fires — and hand the bytes to the
-peer link's writer task.
+peer link's writer task. ``broadcast`` encodes **once** and shares the
+frame bytes across every link instead of paying the codec per
+recipient, and send accounting only counts frames the link actually
+accepted: a frame shed by backpressure never inflates
+``messages_sent``/``bytes_sent``.
 
 Robustness properties (the live-chaos hardening):
 
@@ -21,6 +29,13 @@ Robustness properties (the live-chaos hardening):
   bounded amount of memory and data backlog never starves consensus
   traffic. Message loss is within the Transport contract; the protocol's
   retransmission paths recover.
+* **Write coalescing.** The writer drains a bounded batch of queued
+  frames per ``writer.drain()`` (:data:`PUMP_BATCH_FRAMES` frames or
+  :data:`PUMP_BATCH_BYTES` bytes, whichever first), so a burst costs
+  one await and lets TCP coalesce small frames into full segments
+  instead of one segment per vote. Shaping semantics stay per-frame:
+  the pending batch is flushed before any shaper hold, and every frame
+  still pays its own delay/throttle.
 * **Reconnection.** A link whose connection fails or resets retries
   forever with exponential backoff plus jitter — not just during the
   startup window — so a replica SIGKILLed and respawned mid-run is
@@ -39,9 +54,15 @@ from __future__ import annotations
 import asyncio
 import random
 from collections import deque
-from typing import Optional, TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING, Union
 
-from repro.live.wire import CLIENT_BATCH, FrameDecoder, WireError, encode_frame
+from repro.live.wire import (
+    CLIENT_BATCH,
+    FrameDecoder,
+    WireCodec,
+    WireError,
+    get_codec,
+)
 from repro.sim.interfaces import Channel, Envelope, Handler, Scheduler, Transport
 from repro.sim.network import NetworkStats
 
@@ -60,6 +81,13 @@ CONNECT_RETRY_MAX = 1.0
 DATA_QUEUE_CAP = 1024
 PRIORITY_QUEUE_CAP = 4096
 
+#: Write-coalescing bounds: frames joined into one write per
+#: ``drain()`` await. The byte bound keeps a batch of jumbo frames from
+#: monopolizing the loop; the frame bound caps the join list for bursts
+#: of tiny frames (binary votes/acks run ~50-100 bytes apiece).
+PUMP_BATCH_FRAMES = 512
+PUMP_BATCH_BYTES = 256 * 1024
+
 
 class _PeerLink:
     """One outbound connection: bounded frame queues + a writer task.
@@ -76,10 +104,12 @@ class _PeerLink:
         port: int,
         stats: NetworkStats,
         shaper: Optional["LinkShaper"] = None,
+        codec: Union[str, WireCodec] = "binary",
     ) -> None:
         self.dst = dst
         self.host = host
         self.port = port
+        self.codec = get_codec(codec)
         self.task: Optional[asyncio.Task] = None
         self.bytes_out = 0
         self.connected = False
@@ -133,6 +163,11 @@ class _PeerLink:
                     return
                 self.connected = True
                 try:
+                    # Every TCP stream opens with the codec preamble so
+                    # the acceptor knows the frame format (and rejects a
+                    # mixed-codec peer) before the first frame.
+                    writer.write(self.codec.preamble)
+                    self.bytes_out += len(self.codec.preamble)
                     drained = await self._pump(writer)
                 except (ConnectionError, OSError):
                     # Peer process exited or reset mid-write: the frame
@@ -156,27 +191,60 @@ class _PeerLink:
                 writer.close()
 
     async def _pump(self, writer: asyncio.StreamWriter) -> bool:
-        """Write queued frames until closed (True) or the link drops."""
+        """Write queued frames until closed (True) or the link drops.
+
+        Frames are written in coalesced batches — up to
+        :data:`PUMP_BATCH_FRAMES` frames or :data:`PUMP_BATCH_BYTES`
+        bytes joined into a **single** ``write()`` per ``drain()``, so
+        a burst costs one transport call and one socket send instead of
+        one per frame — while shaping stays per-frame: before a shaper
+        hold, the pending batch is flushed so already-written frames
+        hit the socket at their unshaped time, then the held frame pays
+        its full delay exactly as in the unbatched path.
+        """
+        priority, data = self._priority, self._data
         while True:
-            if self._priority:
-                frame, channel = self._priority.popleft()
-            elif self._data:
-                frame, channel = self._data.popleft()
+            if priority:
+                frame, channel = priority.popleft()
+            elif data:
+                frame, channel = data.popleft()
             else:
                 if self._closing:
                     return True
                 self._wake.clear()
-                if not (self._priority or self._data or self._closing):
+                if not (priority or data or self._closing):
                     await self._wake.wait()
                 continue
-            if self._shaper is not None:
-                delay = self._shaper.write_delay(
-                    self.dst, len(frame), channel
-                )
-                if delay > 0:
-                    await asyncio.sleep(delay)
-            writer.write(frame)
-            self.bytes_out += len(frame)
+            parts: list[bytes] = []
+            batch_bytes = 0
+            while True:
+                if self._shaper is not None:
+                    delay = self._shaper.write_delay(
+                        self.dst, len(frame), channel
+                    )
+                    if delay > 0:
+                        if parts:
+                            writer.write(b"".join(parts))
+                            await writer.drain()
+                            parts = []
+                            batch_bytes = 0
+                        await asyncio.sleep(delay)
+                parts.append(frame)
+                self.bytes_out += len(frame)
+                batch_bytes += len(frame)
+                if (
+                    len(parts) >= PUMP_BATCH_FRAMES
+                    or batch_bytes >= PUMP_BATCH_BYTES
+                ):
+                    break
+                if priority:
+                    frame, channel = priority.popleft()
+                elif data:
+                    frame, channel = data.popleft()
+                else:
+                    break
+            if parts:
+                writer.write(parts[0] if len(parts) == 1 else b"".join(parts))
             await writer.drain()
 
     async def _connect(self) -> Optional[asyncio.StreamWriter]:
@@ -208,12 +276,14 @@ class LiveNetwork(Transport):
         scheduler: Scheduler,
         host: str = "127.0.0.1",
         shaper: Optional["LinkShaper"] = None,
+        codec: Union[str, WireCodec] = "binary",
     ) -> None:
         self.node_id = node_id
         self.ports = ports
         self.host = host
         self.scheduler = scheduler
         self.shaper = shaper
+        self.codec = get_codec(codec)
         self.stats = NetworkStats()
         self.bytes_in = 0
         self._handler: Optional[Handler] = None
@@ -255,7 +325,8 @@ class LiveNetwork(Transport):
             if node == self.node_id:
                 continue
             link = _PeerLink(
-                node, self.host, port, self.stats, shaper=self.shaper
+                node, self.host, port, self.stats, shaper=self.shaper,
+                codec=self.codec,
             )
             link.task = loop.create_task(link.run())
             self._links[node] = link
@@ -328,9 +399,13 @@ class LiveNetwork(Transport):
         ):
             self.stats.messages_dropped += 1
             return
-        frame = encode_frame(src, kind, channel, payload)
-        self.stats.record_send(src, kind, len(frame))
-        link.enqueue(frame, channel)
+        frame = self.codec.encode(src, kind, channel, payload)
+        # Count only what the link accepted: a frame shed by
+        # backpressure was never sent, and pretending otherwise skews
+        # the per-replica bandwidth tables exactly when they matter
+        # (saturated or chaos runs).
+        if link.enqueue(frame, channel):
+            self.stats.record_send(src, kind, len(frame))
 
     def broadcast(
         self,
@@ -342,12 +417,37 @@ class LiveNetwork(Transport):
         recipients: Optional[list[int]] = None,
         include_self: bool = False,
     ) -> None:
+        """Fan one payload out to ``recipients`` (default: all peers).
+
+        The frame is encoded **once** and the same bytes are enqueued on
+        every link — the per-recipient codec cost of the naive
+        ``send``-per-peer loop was pure waste, and on the broadcast-heavy
+        PAB path it dominated the send side.
+        """
+        if self._closed:
+            return
         if recipients is None:
             recipients = [node for node in self.ports if node != src]
+        frame: Optional[bytes] = None
         for dst in recipients:
             if dst == src and not include_self:
                 continue
-            self.send(src, dst, kind, size_bytes, payload, channel)
+            if dst == self.node_id:
+                # Loopback keeps the object path (no codec round-trip).
+                self.send(src, dst, kind, size_bytes, payload, channel)
+                continue
+            link = self._links.get(dst)
+            if link is None:
+                raise ValueError(f"send to unknown node {dst}")
+            if self.shaper is not None and self.shaper.drops(
+                src, dst, kind, channel
+            ):
+                self.stats.messages_dropped += 1
+                continue
+            if frame is None:
+                frame = self.codec.encode(src, kind, channel, payload)
+            if link.enqueue(frame, channel):
+                self.stats.record_send(src, kind, len(frame))
         if include_self and src not in recipients:
             self.send(src, src, kind, size_bytes, payload, channel)
 
@@ -356,7 +456,10 @@ class LiveNetwork(Transport):
     async def _accept(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        decoder = FrameDecoder()
+        # Every inbound stream must open with the preamble matching this
+        # node's codec; a mixed-codec (or non-wire) peer raises WireError
+        # on the first read and the stream is abandoned below.
+        decoder = FrameDecoder(self.codec, negotiate=True)
         self._accepted.add(writer)
         try:
             while True:

@@ -40,6 +40,7 @@ from repro.live.chaos import LiveFaultInjector
 from repro.live.client import run_client
 from repro.live.replica_proc import replica_main
 from repro.live.verify import verify_events
+from repro.live.wire import get_codec
 from repro.metrics import MetricsHub, WeightedDigest
 from repro.verification.oracles import Violation
 
@@ -67,12 +68,18 @@ class LiveConfig:
     #: Falls back to ``experiment.faults`` so a config written for the
     #: simulator runs unchanged.
     faults: Optional[FaultSchedule] = None
+    #: Frame format on the wire: ``binary`` (struct-packed v2, the
+    #: default hot path) or ``json`` (v1, kept for comparison and
+    #: debugging). Every process in the run uses the same codec; the
+    #: per-connection preamble rejects a mismatched peer.
+    wire_codec: str = "binary"
 
     def __post_init__(self) -> None:
         if self.faults is None:
             self.faults = self.experiment.faults
         if self.faults is not None:
             self.faults.validate_live(self.experiment.protocol.n)
+        get_codec(self.wire_codec)  # fail fast on unknown codec names
 
 
 class _FixedClock:
@@ -103,6 +110,8 @@ class LiveRunResult:
     fault_report: list[dict] = field(default_factory=list)
     #: Process faults as applied: scheduled vs actual wall time.
     fault_timeline: list[dict] = field(default_factory=list)
+    #: Frame format the run used on the wire.
+    wire_codec: str = "binary"
 
     @property
     def ok(self) -> bool:
@@ -112,6 +121,7 @@ class LiveRunResult:
         return {
             "mode": "live",
             "label": self.label,
+            "wire_codec": self.wire_codec,
             "throughput_tps": self.throughput_tps,
             "latency_mean_ms": self.latency.mean * 1000,
             "latency_p50_ms": self.latency.percentile(50) * 1000,
@@ -255,6 +265,7 @@ def _merge(
     wall_clock_s: float,
     schedule: Optional[FaultSchedule] = None,
     fault_timeline: Optional[list[dict]] = None,
+    wire_codec: str = "binary",
 ) -> LiveRunResult:
     hub = MetricsHub(_FixedClock(config.end_time))
     commits = sorted(
@@ -318,6 +329,7 @@ def _merge(
         wall_clock_s=wall_clock_s,
         fault_report=fault_report,
         fault_timeline=list(fault_timeline or []),
+        wire_codec=wire_codec,
     )
 
 
@@ -326,9 +338,12 @@ async def _drive(
     ports: dict[int, int],
     epoch: float,
     injector: Optional[LiveFaultInjector],
+    wire_codec: str = "binary",
 ) -> int:
     """Run the client driver and the fault timeline concurrently."""
-    client = asyncio.ensure_future(run_client(config, ports, epoch))
+    client = asyncio.ensure_future(
+        run_client(config, ports, epoch, wire_codec=wire_codec)
+    )
     if injector is None:
         return await client
     chaos = asyncio.ensure_future(injector.run())
@@ -360,6 +375,7 @@ def run_live(live: LiveConfig) -> LiveRunResult:
             "end_time": config.end_time,
             "seed": config.seed,
             "protocol": config.protocol.to_dict(),
+            "wire_codec": live.wire_codec,
         }
         if schedule is not None:
             shaping = schedule.shaping_spec()
@@ -374,7 +390,10 @@ def run_live(live: LiveConfig) -> LiveRunResult:
             injector = LiveFaultInjector(
                 schedule, epoch, kill=table.kill, respawn=table.spawn
             )
-        emitted_tx = asyncio.run(_drive(config, ports, epoch, injector))
+        emitted_tx = asyncio.run(
+            _drive(config, ports, epoch, injector,
+                   wire_codec=live.wire_codec)
+        )
 
         deadline = epoch + config.end_time + JOIN_SLACK
         failures = []
@@ -420,6 +439,7 @@ def run_live(live: LiveConfig) -> LiveRunResult:
         wall_clock_s=time.perf_counter() - started,
         schedule=schedule,
         fault_timeline=injector.timeline if injector is not None else None,
+        wire_codec=live.wire_codec,
     )
     for failure in failures:
         result.violations.append(Violation(

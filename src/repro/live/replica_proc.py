@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import random
 import signal
 
@@ -105,13 +106,16 @@ class LiveRecorder:
         self.events_recorded = 0
 
     def _record(self, kind: str, data) -> None:
-        json.dump({
+        # One dumps + one write: json.dump streaming into the file
+        # handle costs dozens of tiny TextIOWrapper writes per event,
+        # which at saturation charged the recorder ~25% of replica CPU.
+        line = json.dumps({
             "t": self._scheduler.now,
             "node": self._node_id,
             "kind": kind,
             "data": to_wire(data),
-        }, self._file)
-        self._file.write("\n")
+        })
+        self._file.write(line + "\n")
         self._file.flush()
         self.events_recorded += 1
 
@@ -187,7 +191,10 @@ async def _run(spec: dict) -> dict:
                 (spec["seed"] << 24) | (generation << 16) | spec["node_id"]
             ),
         )
-    network = LiveNetwork(spec["node_id"], ports, scheduler, shaper=shaper)
+    network = LiveNetwork(
+        spec["node_id"], ports, scheduler, shaper=shaper,
+        codec=spec.get("wire_codec", "binary"),
+    )
     await network.start()
 
     replica, recorder = build_replica(spec, scheduler, network)
@@ -220,6 +227,7 @@ async def _run(spec: dict) -> dict:
     return {
         "node_id": spec["node_id"],
         "generation": spec.get("generation", 0),
+        "wire_codec": network.codec.name,
         "commits": [
             {
                 "block_id": rec.block_id,
@@ -242,7 +250,25 @@ async def _run(spec: dict) -> dict:
 
 
 def replica_main(spec: dict) -> None:
-    """Process entry point: run one replica, write its result JSON."""
+    """Process entry point: run one replica, write its result JSON.
+
+    Set ``REPRO_LIVE_PROFILE=<dir>`` to cProfile the whole replica
+    lifetime and drop ``replica-<id>-g<gen>.prof`` into that directory —
+    the saturation bench's way of asking *where* a knee comes from.
+    """
+    profile_dir = os.environ.get("REPRO_LIVE_PROFILE")
+    profiler = None
+    if profile_dir:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     result = asyncio.run(_run(spec))
+    if profiler is not None:
+        profiler.disable()
+        stem = (
+            f"replica-{spec['node_id']}-g{spec.get('generation', 0)}.prof"
+        )
+        profiler.dump_stats(os.path.join(profile_dir, stem))
     with open(spec["result_path"], "w", encoding="utf-8") as handle:
         json.dump(result, handle)

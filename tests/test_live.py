@@ -125,6 +125,65 @@ def test_live_network_rejects_foreign_registration():
     asyncio.run(scenario())
 
 
+def test_send_accounting_skips_backpressure_drops():
+    """Frames shed by a full bounded queue must not count as sent."""
+    async def scenario():
+        from repro.live.network import DATA_QUEUE_CAP
+
+        loop = asyncio.get_running_loop()
+        ports = allocate_ports(2)  # nothing listens on either port
+        network = LiveNetwork(0, ports, RealtimeScheduler(loop))
+        await network.start(listen=False)
+        extra = 25
+        for index in range(DATA_QUEUE_CAP + extra):
+            network.send(0, 1, MessageKinds.MICROBLOCK, 8, index)
+        # The link never connects, so exactly DATA_QUEUE_CAP frames
+        # boarded; the overflow was dropped and must not be in the
+        # sent tallies (the pre-fix code counted all of them).
+        assert network.stats.messages_sent[MessageKinds.MICROBLOCK] == (
+            DATA_QUEUE_CAP
+        )
+        assert network.stats.frames_dropped == extra
+        # byte tally covers exactly the frames that boarded, no more
+        expected = sum(
+            len(network.codec.encode(
+                0, MessageKinds.MICROBLOCK, Channel.DATA, index))
+            for index in range(DATA_QUEUE_CAP)
+        )
+        assert network.stats.node_bytes(0) == expected
+        await network.close(drain_timeout=0.05)
+
+    asyncio.run(scenario())
+
+
+def test_broadcast_encodes_once_per_payload():
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        ports = allocate_ports(4)
+        network = LiveNetwork(0, ports, RealtimeScheduler(loop))
+        await network.start(listen=False)
+        encoded = []
+        real_codec = network.codec
+
+        class CountingCodec:
+            name = real_codec.name
+            preamble = real_codec.preamble
+            decode = staticmethod(real_codec.decode)
+
+            @staticmethod
+            def encode(src, kind, channel, payload):
+                encoded.append(kind)
+                return real_codec.encode(src, kind, channel, payload)
+
+        network.codec = CountingCodec()
+        network.broadcast(0, MessageKinds.RB_READY, 8, 1234)
+        assert encoded == [MessageKinds.RB_READY]  # one encode, 3 links
+        assert network.stats.messages_sent[MessageKinds.RB_READY] == 3
+        await network.close(drain_timeout=0.05)
+
+    asyncio.run(scenario())
+
+
 def test_live_network_send_asserts_purity():
     async def scenario():
         loop = asyncio.get_running_loop()

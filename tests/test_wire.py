@@ -1,7 +1,9 @@
-"""Wire-codec tests: round-trips over the full message registry,
-purity rejection, and frame reassembly."""
+"""Wire-codec tests: round-trips over the full message registry for both
+codecs, purity rejection, frame reassembly, preamble negotiation, and
+decoder fuzz (torn/garbage/oversized streams)."""
 
 import struct
+import time
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -11,12 +13,18 @@ from repro.crypto.proofs import AvailabilityProof
 from repro.crypto.signatures import Signature
 from repro.live.wire import (
     CLIENT_BATCH,
+    CODECS,
     MESSAGE_REGISTRY,
+    PREAMBLE_SIZE,
+    WIRE_MAGIC,
     FrameDecoder,
     WireError,
     decode_frame,
+    decode_frame_binary,
     encode_frame,
+    encode_frame_binary,
     from_wire,
+    get_codec,
     to_wire,
 )
 from repro.mempool.base import MessageKinds
@@ -124,6 +132,42 @@ def test_frame_round_trip(message, channel, src):
     assert got_payload == payload
 
 
+@given(any_message, st.sampled_from(list(Channel)), nodes)
+@settings(max_examples=300)
+def test_binary_frame_round_trip_over_full_registry(message, channel, src):
+    kind, payload = message
+    frame = encode_frame_binary(src, kind, channel, payload)
+    (length,) = struct.unpack(">I", frame[:4])
+    assert length == len(frame) - 4
+    decoded = decode_frame_binary(frame[4:])
+    assert decoded == (src, kind, channel, payload)
+    # Tuple-ness survives the positional encoding too.
+    if isinstance(payload, tuple):
+        assert isinstance(decoded[3], tuple)
+
+
+@given(any_message, st.sampled_from(list(Channel)))
+@settings(max_examples=100)
+def test_binary_frames_are_smaller_than_json(message, channel):
+    kind, payload = message
+    json_frame = encode_frame(3, kind, channel, payload)
+    binary_frame = encode_frame_binary(3, kind, channel, payload)
+    assert len(binary_frame) < len(json_frame)
+
+
+def test_binary_codec_preserves_extreme_ints_and_negatives():
+    for value in (0, -1, 1, 2**34 | 7, -(2**40), 2**80, -(2**80)):
+        frame = encode_frame_binary(
+            -1, MessageKinds.FETCH_REQUEST, Channel.CONTROL, value
+        )
+        assert decode_frame_binary(frame[4:])[3] == value
+
+
+def test_binary_codec_rejects_unregistered_kind():
+    with pytest.raises(WireError, match="MESSAGE_REGISTRY"):
+        encode_frame_binary(0, "made.up", Channel.DATA, 1)
+
+
 def test_tuples_survive_as_tuples():
     decoded = from_wire(to_wire((1, (2, 3), [4, 5])))
     assert decoded == (1, (2, 3), [4, 5])
@@ -135,6 +179,17 @@ def test_tuples_survive_as_tuples():
 def test_int_keyed_dict_round_trips():
     payload = {1: "a", 2: (3, 4)}
     assert from_wire(to_wire(payload)) == payload
+
+
+def test_binary_containers_round_trip_structurally():
+    payload = (1, (2, 3), [4, [5]], {1: "a", "b": (True, None, 2.5)})
+    frame = encode_frame_binary(0, MessageKinds.LB_INFO, Channel.DATA, payload)
+    decoded = decode_frame_binary(frame[4:])[3]
+    assert decoded == payload
+    assert isinstance(decoded, tuple)
+    assert isinstance(decoded[1], tuple)
+    assert isinstance(decoded[2], list)
+    assert isinstance(decoded[3]["b"], tuple)
 
 
 # -- purity assertion --------------------------------------------------------
@@ -173,6 +228,20 @@ def test_non_finite_floats_are_rejected():
             to_wire(bad)
 
 
+def test_binary_codec_asserts_purity_too():
+    class NotWire:
+        pass
+
+    for bad in (NotWire(), (1, NotWire())):
+        with pytest.raises(WireError, match="pure data"):
+            encode_frame_binary(0, MessageKinds.VOTE, Channel.CONSENSUS, bad)
+    for bad in (float("nan"), float("inf")):
+        with pytest.raises(WireError, match="non-finite"):
+            encode_frame_binary(
+                0, MessageKinds.FETCH_REQUEST, Channel.CONTROL, bad
+            )
+
+
 def test_unknown_tag_is_rejected_on_decode():
     with pytest.raises(WireError, match="unknown wire tag"):
         from_wire({"__t__": "EvilType", "v": {}})
@@ -180,9 +249,10 @@ def test_unknown_tag_is_rejected_on_decode():
 
 # -- framing -----------------------------------------------------------------
 
-def _sample_frames(count):
+def _sample_frames(count, codec="json"):
+    encode = get_codec(codec).encode
     return [
-        encode_frame(
+        encode(
             node, MessageKinds.FETCH_REQUEST, Channel.CONTROL, node * 17
         )
         for node in range(count)
@@ -218,3 +288,153 @@ def test_malformed_frame_body_raises_wire_error():
         decode_frame(b"not json at all")
     with pytest.raises(WireError, match="malformed"):
         decode_frame(b'{"src": 1}')  # missing keys
+
+
+def test_frame_decoder_burst_reassembly_is_linear():
+    """Regression for the O(total**2) ``del buffer[:end]`` reassembly.
+
+    A coalesced burst of tens of thousands of frames arriving in one
+    read must cost O(total); the old per-frame prefix deletion moved
+    gigabytes of buffer for this input and took tens of seconds.
+    """
+    count = 30_000
+    encode = get_codec("binary").encode
+    stream = b"".join(
+        encode(1, MessageKinds.RB_ECHO, Channel.CONTROL, index)
+        for index in range(count)
+    )
+    decoder = FrameDecoder("binary")
+    started = time.perf_counter()
+    payloads = [payload for _, _, _, payload in decoder.feed(stream)]
+    elapsed = time.perf_counter() - started
+    assert payloads == list(range(count))
+    # Fully consumed input leaves no buffered residue behind.
+    assert len(decoder._buffer) == 0 and decoder._offset == 0
+    # Generous bound: the linear decoder finishes in well under a
+    # second; the quadratic one needed tens of seconds.
+    assert elapsed < 5.0, f"burst reassembly took {elapsed:.1f}s"
+
+
+def test_frame_decoder_keeps_partial_frame_across_burst_feeds():
+    frames = _sample_frames(100, codec="binary")
+    stream = b"".join(frames)
+    split = len(stream) - 3  # tear the final frame
+    decoder = FrameDecoder("binary")
+    first = list(decoder.feed(stream[:split]))
+    assert len(first) == 99
+    rest = list(decoder.feed(stream[split:]))
+    assert len(rest) == 1
+    assert rest[0][3] == 99 * 17
+
+
+# -- preamble negotiation ----------------------------------------------------
+
+def _preamble_stream(codec_name, messages=3):
+    codec = get_codec(codec_name)
+    return codec.preamble + b"".join(
+        codec.encode(7, MessageKinds.RB_READY, Channel.CONTROL, index)
+        for index in range(messages)
+    )
+
+
+@pytest.mark.parametrize("codec_name", sorted(CODECS))
+def test_negotiating_decoder_selects_codec_from_preamble(codec_name):
+    decoder = FrameDecoder(negotiate=True)
+    messages = list(decoder.feed(_preamble_stream(codec_name)))
+    assert [payload for _, _, _, payload in messages] == [0, 1, 2]
+    assert decoder.codec.name == codec_name
+
+
+@pytest.mark.parametrize("codec_name", sorted(CODECS))
+def test_negotiating_decoder_survives_byte_by_byte_preamble(codec_name):
+    decoder = FrameDecoder(codec_name, negotiate=True)
+    stream = _preamble_stream(codec_name)
+    messages = []
+    for index in range(len(stream)):
+        messages.extend(decoder.feed(stream[index:index + 1]))
+    assert len(messages) == 3
+
+
+def test_mixed_codec_stream_is_rejected():
+    decoder = FrameDecoder("binary", negotiate=True)
+    with pytest.raises(WireError, match="configured for 'binary'"):
+        list(decoder.feed(_preamble_stream("json")))
+    decoder = FrameDecoder("json", negotiate=True)
+    with pytest.raises(WireError, match="configured for 'json'"):
+        list(decoder.feed(_preamble_stream("binary")))
+
+
+def test_garbage_preamble_is_rejected():
+    decoder = FrameDecoder(negotiate=True)
+    with pytest.raises(WireError, match="bad stream preamble"):
+        list(decoder.feed(b"HTTP/1.1 200 OK\r\n"))
+    decoder = FrameDecoder(negotiate=True)
+    with pytest.raises(WireError, match="unsupported wire format"):
+        list(decoder.feed(WIRE_MAGIC + b"\x7f" + b"xxxx"))
+    assert len(WIRE_MAGIC) + 1 == PREAMBLE_SIZE
+
+
+# -- decoder fuzz ------------------------------------------------------------
+
+@given(
+    st.lists(st.integers(0, 2**40), min_size=1, max_size=30),
+    st.data(),
+    st.sampled_from(sorted(CODECS)),
+)
+@settings(max_examples=60)
+def test_torn_stream_reassembles_exactly(payload_ids, data, codec_name):
+    """Arbitrary tearing of a multi-frame stream never loses or reorders
+    a message — the incremental decoder is split-point oblivious."""
+    codec = get_codec(codec_name)
+    stream = codec.preamble + b"".join(
+        codec.encode(0, MessageKinds.FETCH_REQUEST, Channel.CONTROL, value)
+        for value in payload_ids
+    )
+    decoder = FrameDecoder(codec_name, negotiate=True)
+    received = []
+    position = 0
+    while position < len(stream):
+        step = data.draw(st.integers(1, len(stream) - position))
+        received.extend(
+            payload for _, _, _, payload
+            in decoder.feed(stream[position:position + step])
+        )
+        position += step
+    assert received == payload_ids
+
+
+@given(st.binary(min_size=0, max_size=256))
+@settings(max_examples=200)
+def test_garbage_binary_body_raises_wire_error_not_crash(body):
+    """Any byte soup either decodes or raises WireError — never an
+    unhandled IndexError/struct.error/UnicodeDecodeError escape."""
+    try:
+        decode_frame_binary(body)
+    except WireError:
+        pass
+
+
+@given(st.binary(min_size=0, max_size=256))
+@settings(max_examples=100)
+def test_garbage_json_body_raises_wire_error_not_crash(body):
+    try:
+        decode_frame(body)
+    except WireError:
+        pass
+
+
+def test_oversized_frame_rejected_by_both_codecs():
+    from repro.live.wire import MAX_FRAME_BYTES
+
+    for codec_name in sorted(CODECS):
+        decoder = FrameDecoder(codec_name)
+        with pytest.raises(WireError, match="exceeds limit"):
+            list(decoder.feed(
+                struct.pack(">I", MAX_FRAME_BYTES + 1) + b"xxxx"
+            ))
+    # And at encode time: a pathological payload fails fast.
+    with pytest.raises(WireError, match="too large"):
+        encode_frame_binary(
+            0, MessageKinds.FETCH_REQUEST, Channel.CONTROL,
+            "x" * (MAX_FRAME_BYTES + 1),
+        )
