@@ -113,6 +113,59 @@ def _print_fault_report(label: str, report: list[dict]) -> None:
     ))
 
 
+def _add_durability_args(parser: argparse.ArgumentParser) -> None:
+    """``--durability`` knobs shared by the sim and live parsers."""
+    parser.add_argument(
+        "--durability", choices=["always", "interval", "off"], default=None,
+        metavar="FSYNC",
+        help="persist the state machine (WAL + checkpoints) with this "
+             "fsync policy: always | interval | off",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=int, default=32, metavar="BLOCKS",
+        help="blocks applied between checkpoints (with --durability)",
+    )
+    parser.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="root directory for per-replica durable state "
+             "(a temp dir when unset)",
+    )
+
+
+def _durability_from_args(args):
+    if args.durability is None:
+        return None
+    from repro.durability import DurabilityConfig
+
+    return DurabilityConfig(
+        fsync=args.durability,
+        checkpoint_interval=args.checkpoint_interval,
+    )
+
+
+def _print_recovery_report(label: str, report: list[dict]) -> None:
+    """Render durable-executor recovery rows (sim and live runs)."""
+    rows = [
+        [
+            entry.get("node", "-"),
+            entry.get("generation", "-"),
+            entry["source"],
+            f"{entry['duration_s'] * 1000:.2f}",
+            entry["wal_blocks_replayed"],
+            f"{entry['wal_replay_blocks_per_sec']:,.0f}",
+            f"{entry['checkpoint_bytes']:,}",
+        ]
+        for entry in report
+    ]
+    print()
+    print(format_table(
+        ["node", "gen", "source", "recovery (ms)", "wal blocks",
+         "replay (blk/s)", "ckpt bytes"],
+        rows,
+        title=f"{label} durable recoveries",
+    ))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -164,6 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile-top", type=int, default=20,
                         metavar="N",
                         help="with --profile, how many functions to show")
+    _add_durability_args(parser)
     return parser
 
 
@@ -300,6 +354,7 @@ def build_live_parser() -> argparse.ArgumentParser:
                              "shaping (see repro.live.chaos)")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the full result document to PATH")
+    _add_durability_args(parser)
     return parser
 
 
@@ -329,6 +384,8 @@ def run_live_cmd(argv: Sequence[str]) -> int:
         experiment=config,
         faults=_resolve_faults_arg(args.faults, args.n, live=True),
         wire_codec=args.wire_codec,
+        durability=_durability_from_args(args),
+        data_dir=args.data_dir,
     )
     if args.startup_grace is not None:
         live.startup_grace = args.startup_grace
@@ -371,6 +428,8 @@ def run_live_cmd(argv: Sequence[str]) -> int:
               f"applied t={entry['applied_at']:.2f}")
     if result.fault_report:
         _print_fault_report(result.label, result.fault_report)
+    if result.recovery_report:
+        _print_recovery_report(result.label, result.recovery_report)
     for violation in result.violations:
         print(f"  VIOLATION {violation}")
     if args.json is not None:
@@ -447,11 +506,19 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
               "worker processes)")
         jobs = 1
 
+    durability = _durability_from_args(args)
     cells = []  # (preset, n, ExperimentConfig)
     for preset in args.preset:
         for n in args.n:
             protocol = tuned_protocol(
                 preset, n=n, topology_kind=args.topology, **overrides
+            )
+            # With an explicit --data-dir, each sweep cell gets its own
+            # subtree so concurrent cells never share a WAL.
+            cell_data_dir = (
+                str(Path(args.data_dir) / f"{preset}-n{n}")
+                if args.data_dir is not None and durability is not None
+                else None
             )
             cells.append((preset, n, ExperimentConfig(
                 protocol=protocol,
@@ -468,6 +535,8 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
                 # Preset schedules depend on n (the crash victim is the
                 # highest id), so resolution happens per sweep cell.
                 faults=_resolve_faults_arg(args.faults, n),
+                durability=durability,
+                data_dir=cell_data_dir,
                 label=f"{preset}-n{n}",
             )))
 
@@ -499,9 +568,12 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
     rows = []
     timelines = []
     fault_reports = []
+    recovery_reports = []
     for (preset, n, _), summary in zip(cells, summaries):
         if summary.fault_report is not None:
             fault_reports.append((summary.label, summary.fault_report))
+        if summary.recovery_report:
+            recovery_reports.append((summary.label, summary.recovery_report))
         rows.append([
             preset, n,
             f"{summary.throughput_tps:,.0f}",
@@ -521,6 +593,8 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
     ))
     for label, report in fault_reports:
         _print_fault_report(label, report)
+    for label, report in recovery_reports:
+        _print_recovery_report(label, report)
     for label, series in timelines:
         print(f"\n{label} timeline (t -> tx/s):")
         for t, value in series:

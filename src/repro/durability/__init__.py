@@ -1,0 +1,37 @@
+"""Durability layer: WAL, checkpoints, and snapshot state transfer."""
+
+from repro.durability.checkpoint import (
+    Checkpoint,
+    CheckpointStore,
+    decode_checkpoint,
+)
+from repro.durability.manager import (
+    DurabilityConfig,
+    DurableKVStore,
+    RecoveryInfo,
+)
+from repro.durability.wal import (
+    FSYNC_POLICIES,
+    AppliedBlockRecord,
+    WriteAheadLog,
+    encode_payload,
+    encode_record,
+    decode_payload,
+    read_wal,
+)
+
+__all__ = [
+    "AppliedBlockRecord",
+    "Checkpoint",
+    "CheckpointStore",
+    "DurabilityConfig",
+    "DurableKVStore",
+    "FSYNC_POLICIES",
+    "RecoveryInfo",
+    "WriteAheadLog",
+    "decode_checkpoint",
+    "decode_payload",
+    "encode_payload",
+    "encode_record",
+    "read_wal",
+]

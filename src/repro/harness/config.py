@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.config import ProtocolConfig
+from repro.durability import DurabilityConfig
 from repro.faults import FaultSchedule
 from repro.sim.topology import FluctuationWindow
 
@@ -39,6 +40,12 @@ class ExperimentConfig:
     #: compiled onto the event queue by :class:`repro.faults.FaultInjector`.
     faults: Optional[FaultSchedule] = None
     data_limiter: Optional[tuple[float, float]] = None  # (bytes/s, burst)
+    #: Durable state machine (WAL + checkpoints); implies an executor on
+    #: every replica. None keeps the purely in-memory KVStore.
+    durability: Optional[DurabilityConfig] = None
+    #: Root directory for per-replica data dirs; a temp dir per run when
+    #: unset and durability is enabled.
+    data_dir: Optional[str] = None
     label: str = ""
     extra: dict = field(default_factory=dict)
 
@@ -114,6 +121,11 @@ class ExperimentConfig:
                 list(self.data_limiter)
                 if self.data_limiter is not None else None
             ),
+            "durability": (
+                self.durability.to_spec()
+                if self.durability is not None else None
+            ),
+            "data_dir": self.data_dir,
             "label": self.label,
             "extra": dict(self.extra),
         }
@@ -134,4 +146,6 @@ class ExperimentConfig:
             data["faults"] = FaultSchedule.from_spec(data["faults"])
         if data.get("data_limiter") is not None:
             data["data_limiter"] = tuple(data["data_limiter"])
+        if data.get("durability") is not None:
+            data["durability"] = DurabilityConfig.from_spec(data["durability"])
         return cls(**data)

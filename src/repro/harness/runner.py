@@ -8,11 +8,14 @@ measurement window into an :class:`ExperimentResult`.
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.consensus import CONSENSUS_CLASSES
+from repro.durability import DurableKVStore
 from repro.faults import FaultInjector
 from repro.harness.config import ExperimentConfig
 from repro.kvstore import KVStore
@@ -46,6 +49,8 @@ class RunningExperiment:
     #: Optional invariant-oracle suite (``repro.verification``), already
     #: attached to every replica's observer tap by ``build_experiment``.
     oracles: Optional[object] = None
+    #: Root of the per-replica durable data dirs (durability runs only).
+    data_dir: Optional[str] = None
 
     def run(self) -> "ExperimentResult":
         started = time.perf_counter()
@@ -192,6 +197,11 @@ def build_experiment(
     if consensus_cls is None:
         consensus_cls = CONSENSUS_CLASSES[protocol.consensus]
 
+    data_dir: Optional[str] = None
+    if config.durability is not None:
+        data_dir = config.data_dir or tempfile.mkdtemp(prefix="repro-data-")
+        os.makedirs(data_dir, exist_ok=True)
+
     replicas: list[Replica] = []
     for node_id in range(protocol.n):
         replica = Replica(
@@ -209,7 +219,15 @@ def build_experiment(
         else:
             mempool = mempool_cls(replica, protocol)
         consensus = consensus_cls(replica, mempool, protocol)
-        executor = KVStore() if config.attach_executor else None
+        if config.durability is not None:
+            executor = DurableKVStore(
+                os.path.join(data_dir, f"replica-{node_id}"),
+                config=config.durability,
+            )
+        elif config.attach_executor:
+            executor = KVStore()
+        else:
+            executor = None
         replica.attach(mempool, consensus, executor)
         if config.data_limiter is not None:
             rate, burst = config.data_limiter
@@ -251,6 +269,7 @@ def build_experiment(
         generator=generator,
         injector=injector,
         oracles=oracles,
+        data_dir=data_dir,
     )
     if oracles is not None:
         oracles.attach(experiment)

@@ -1,5 +1,5 @@
 """In-memory key-value state machine executed over committed blocks."""
 
-from repro.kvstore.store import KVStore
+from repro.kvstore.store import KVStore, kv_digest
 
-__all__ = ["KVStore"]
+__all__ = ["KVStore", "kv_digest"]

@@ -10,7 +10,27 @@ in the same state, which the integration tests assert.
 
 from __future__ import annotations
 
+import hashlib
+
 from repro.types.proposal import Block
+
+
+def kv_digest(data: dict[int, int]) -> str:
+    """Order-independent sha256-based digest of a key/value map.
+
+    Each ``key:value`` pair hashes independently and the 32-byte digests
+    XOR together, so insertion order is irrelevant and the result is
+    stable across processes and restarts (unlike the builtin ``hash``,
+    which is salted per process). This is the checkpoint integrity key:
+    a checkpoint whose stored digest does not match the recomputed
+    digest of its payload is rejected at recovery.
+    """
+    acc = bytearray(32)
+    for key, value in data.items():
+        pair = hashlib.sha256(b"%d:%d" % (key, value)).digest()
+        for i in range(32):
+            acc[i] ^= pair[i]
+    return bytes(acc).hex()
 
 
 class KVStore:
@@ -23,6 +43,9 @@ class KVStore:
         self._data: dict[int, int] = {}
         self._applied_blocks: list[int] = []
         self._tx_applied = 0
+        self._blocks_applied = 0
+        self._last_height = 0
+        self._last_block_id = 0
 
     @property
     def applied_block_ids(self) -> list[int]:
@@ -32,6 +55,19 @@ class KVStore:
     def tx_applied(self) -> int:
         return self._tx_applied
 
+    @property
+    def blocks_applied(self) -> int:
+        return self._blocks_applied
+
+    @property
+    def last_height(self) -> int:
+        """Height of the last applied block (0 before any block)."""
+        return self._last_height
+
+    @property
+    def last_block_id(self) -> int:
+        return self._last_block_id
+
     def apply_block(self, block: Block) -> None:
         """Execute every transaction of a full block, in microblock order."""
         if not block.is_full:
@@ -39,10 +75,25 @@ class KVStore:
                 f"cannot execute partial block {block.block_id}: "
                 f"missing {block.missing_ids}"
             )
-        self._applied_blocks.append(block.block_id)
-        for mb_id in block.proposal.payload.microblock_ids:
-            microblock = block.microblocks[mb_id]
-            for index in range(microblock.tx_count):
+        pairs = tuple(
+            (mb_id, block.microblocks[mb_id].tx_count)
+            for mb_id in block.proposal.payload.microblock_ids
+        )
+        self._apply(block.block_id, block.proposal.height, pairs)
+
+    def _apply(self, block_id: int, height: int, pairs) -> None:
+        """Apply one block's synthesized operations.
+
+        ``pairs`` is the ``(microblock_id, tx_count)`` sequence in payload
+        order — the only inputs the deterministic op synthesis needs,
+        which is also exactly what the WAL persists per block.
+        """
+        self._applied_blocks.append(block_id)
+        self._blocks_applied += 1
+        self._last_height = height
+        self._last_block_id = block_id
+        for mb_id, tx_count in pairs:
+            for index in range(tx_count):
                 key = (mb_id * 1_000_003 + index) % self._key_space
                 self._data[key] = self._data.get(key, 0) + 1
                 self._tx_applied += 1
@@ -50,10 +101,7 @@ class KVStore:
     def get(self, key: int) -> int:
         return self._data.get(key, 0)
 
-    def state_digest(self) -> int:
-        """Order-independent digest of the store contents (for replica
-        state comparison in tests)."""
-        digest = 0
-        for key, value in self._data.items():
-            digest ^= hash((key, value))
-        return digest
+    def state_digest(self) -> str:
+        """Order-independent digest of the store contents, stable across
+        processes and restarts (see :func:`kv_digest`)."""
+        return kv_digest(self._data)

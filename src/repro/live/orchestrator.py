@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
+from repro.durability import DurabilityConfig
 from repro.faults import FaultSchedule
 from repro.harness.config import ExperimentConfig
 from repro.live.chaos import LiveFaultInjector
@@ -73,12 +74,22 @@ class LiveConfig:
     #: debugging). Every process in the run uses the same codec; the
     #: per-connection preamble rejects a mismatched peer.
     wire_codec: str = "binary"
+    #: Durable state machine under every replica (WAL + checkpoints).
+    #: Falls back to ``experiment.durability`` like ``faults`` does.
+    durability: Optional[DurabilityConfig] = None
+    #: Root for the per-replica data dirs; inside the run's scratch dir
+    #: (deleted with it) when None.
+    data_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.faults is None:
             self.faults = self.experiment.faults
         if self.faults is not None:
             self.faults.validate_live(self.experiment.protocol.n)
+        if self.durability is None:
+            self.durability = self.experiment.durability
+        if self.data_dir is None:
+            self.data_dir = self.experiment.data_dir
         get_codec(self.wire_codec)  # fail fast on unknown codec names
 
 
@@ -112,6 +123,10 @@ class LiveRunResult:
     fault_timeline: list[dict] = field(default_factory=list)
     #: Frame format the run used on the wire.
     wire_codec: str = "binary"
+    #: Per-incarnation durable-recovery rows (source, recovery_time,
+    #: WAL replay throughput, checkpoint bytes); empty when the run had
+    #: no durability layer.
+    recovery_report: list[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -142,6 +157,7 @@ class LiveRunResult:
                 for entry in self.fault_report
             ],
             "fault_timeline": self.fault_timeline,
+            "recovery_report": self.recovery_report,
             "config": self.config.to_dict(),
         }
 
@@ -293,6 +309,19 @@ def _merge(
             hub.record_fault_window(window)
         fault_report = hub.fault_report()
 
+    recovery_report = [
+        {
+            "node": result["node_id"],
+            "generation": result.get("generation", 0),
+            **result["recovery"],
+        }
+        for result in sorted(
+            replica_results,
+            key=lambda r: (r["node_id"], r.get("generation", 0)),
+        )
+        if result.get("recovery") is not None
+    ]
+
     start, end = config.warmup, config.end_time
     return LiveRunResult(
         label=(config.label or (
@@ -319,6 +348,14 @@ def _merge(
                 "queue_high_watermark": result.get("queue_high_watermark", 0),
                 "reconnects": result.get("reconnects", 0),
                 "frames_shed": result.get("frames_shed", 0),
+                "recovery_source": (
+                    result["recovery"]["source"]
+                    if result.get("recovery") is not None else None
+                ),
+                "executed_height": result.get("executed_height"),
+                "state_digest": result.get("state_digest"),
+                "snapshot_installs": result.get("snapshot_installs"),
+                "snapshots_served": result.get("snapshots_served"),
             }
             for result in sorted(
                 replica_results,
@@ -330,6 +367,7 @@ def _merge(
         fault_report=fault_report,
         fault_timeline=list(fault_timeline or []),
         wire_codec=wire_codec,
+        recovery_report=recovery_report,
     )
 
 
@@ -381,6 +419,11 @@ def run_live(live: LiveConfig) -> LiveRunResult:
             shaping = schedule.shaping_spec()
             if shaping:
                 base_spec["shaping"] = shaping
+        if live.durability is not None:
+            data_root = Path(live.data_dir or Path(scratch) / "data")
+            data_root.mkdir(parents=True, exist_ok=True)
+            base_spec["durability"] = live.durability.to_spec()
+            base_spec["data_root"] = str(data_root)
         table = _ProcessTable(context, base_spec, scratch)
         for node_id in range(n):
             table.spawn(node_id)

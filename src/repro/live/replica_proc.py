@@ -42,6 +42,7 @@ import signal
 
 from repro.config import ProtocolConfig
 from repro.consensus import CONSENSUS_CLASSES
+from repro.durability import DurabilityConfig, DurableKVStore
 from repro.live.chaos import LinkShaper
 from repro.live.network import LiveNetwork
 from repro.live.scheduler import RealtimeScheduler
@@ -169,7 +170,16 @@ def build_replica(
         # every view it leads times out.
         mempool.rebase_microblock_ids(generation << 32)
         consensus.rebase_block_ids(generation << 32)
-    replica.attach(mempool, consensus)
+    executor = None
+    if spec.get("durability"):
+        # The data dir is keyed by node id, NOT generation: a respawned
+        # incarnation recovers from the directory its predecessor wrote
+        # (checkpoint + WAL tail), which is the whole point.
+        executor = DurableKVStore(
+            os.path.join(spec["data_root"], f"replica-{node_id}"),
+            config=DurabilityConfig.from_spec(spec["durability"]),
+        )
+    replica.attach(mempool, consensus, executor)
     recorder = LiveRecorder(scheduler, node_id, spec["events_path"])
     replica.observer = recorder
     network.client_handler = (
@@ -211,6 +221,16 @@ async def _run(spec: dict) -> dict:
     # replica (chaos restart) is past t=0 already and starts at once.
     await scheduler.sleep_until(0.0)
     replica.start()
+    executor = replica.executor
+    if (
+        executor is not None
+        and spec.get("generation", 0)
+        and getattr(executor.config, "snapshot_transfer", False)
+    ):
+        # A respawned incarnation recovered from its own disk; peers may
+        # have moved the commit frontier while it was down. The request
+        # is queued per peer and delivered once TCP (re)connects.
+        replica.request_state_snapshot()
 
     remaining = spec["end_time"] + SHUTDOWN_GRACE - scheduler.now
     if remaining > 0:
@@ -222,6 +242,8 @@ async def _run(spec: dict) -> dict:
     replica.consensus.suspend()
     await network.close()
     recorder.close()
+    if executor is not None:
+        executor.close()
 
     metrics = replica.metrics
     return {
@@ -246,6 +268,26 @@ async def _run(spec: dict) -> dict:
         "queue_high_watermark": network.stats.queue_high_watermark,
         "reconnects": network.stats.reconnects,
         "frames_shed": shaper.frames_shed if shaper is not None else 0,
+        "recovery": (
+            executor.recovery.to_dict() if executor is not None else None
+        ),
+        "executed_height": (
+            executor.last_height if executor is not None else None
+        ),
+        "tx_applied": executor.tx_applied if executor is not None else None,
+        "state_digest": (
+            executor.state_digest() if executor is not None else None
+        ),
+        "checkpoints_written": (
+            executor.checkpoints_written if executor is not None else None
+        ),
+        "checkpoint_bytes": (
+            executor.checkpoint_bytes if executor is not None else None
+        ),
+        "snapshot_installs": (
+            executor.snapshot_installs if executor is not None else None
+        ),
+        "snapshots_served": replica.snapshots_served,
     }
 
 

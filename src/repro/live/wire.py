@@ -130,6 +130,10 @@ MESSAGE_REGISTRY: dict[str, tuple[type, ...]] = {
     MessageKinds.PBFT_PREPARE: (tuple,),   # (seq, node_id)
     MessageKinds.PBFT_COMMIT: (tuple,),    # (seq, node_id)
     CLIENT_BATCH: (TxBatch,),
+    # Snapshot state transfer (appended in PR 8; append-only table).
+    MessageKinds.STATE_SNAPSHOT_REQ: (int,),  # requester's applied height
+    # (height, last_block_id, digest, tx_applied, blocks_applied, {k: v})
+    MessageKinds.STATE_SNAPSHOT: (tuple,),
 }
 
 

@@ -54,6 +54,10 @@ class MessageKinds:
     SYNC_REQUEST = "ce.sync"
     PBFT_PREPARE = "ce.prepare"
     PBFT_COMMIT = "ce.commit"
+    # State-transfer kinds are routed to the replica itself (not the
+    # mempool or consensus engine); see Replica.handle.
+    STATE_SNAPSHOT_REQ = "state.snap_req"
+    STATE_SNAPSHOT = "state.snap"
 
     MICROBLOCK_KINDS = (
         MICROBLOCK,

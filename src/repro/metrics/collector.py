@@ -68,6 +68,7 @@ class MetricsHub:
         self._fetches = 0
         self._fetches_abandoned = 0
         self._fault_windows: list[FaultWindow] = []
+        self._recoveries: list[dict] = []
 
     # -- recording ---------------------------------------------------------
 
@@ -131,6 +132,15 @@ class MetricsHub:
         """Register an injected fault's active interval (FaultInjector)."""
         self._fault_windows.append(window)
 
+    def record_recovery(self, node: int, info: dict) -> None:
+        """Register one durable-executor recovery (restart or join).
+
+        ``info`` is ``RecoveryInfo.to_dict()``: recovery source
+        (checkpoint / wal / checkpoint+wal / snapshot / fresh),
+        recovery_time, WAL replay throughput, and checkpoint size.
+        """
+        self._recoveries.append({"node": node, "at": self._sim.now, **info})
+
     # -- queries -----------------------------------------------------------
 
     @property
@@ -161,6 +171,10 @@ class MetricsHub:
     @property
     def fault_windows(self) -> list[FaultWindow]:
         return sorted(self._fault_windows, key=lambda w: (w.start, w.kind))
+
+    def recovery_report(self) -> list[dict]:
+        """Durable-executor recoveries in injection order."""
+        return [dict(entry) for entry in self._recoveries]
 
     def throughput_tps(self, start: float, end: float) -> float:
         """Committed transactions per second over ``[start, end)``."""

@@ -73,6 +73,10 @@ class RunSummary:
     peak_rss_bytes: int = 0
     fault_report: Optional[list] = None
     timeline: Optional[list] = None
+    #: Durable-executor recovery rows (durability runs only); recovery
+    #: durations are host wall clock, so parallel and serial runs may
+    #: differ here — keep it out of determinism-gated output.
+    recovery_report: Optional[list] = None
 
     @property
     def events_per_sec(self) -> float:
@@ -113,6 +117,9 @@ class RunSummary:
         fault_report = None
         if result.config.faults is not None:
             fault_report = metrics.fault_report()
+        recovery_report = None
+        if result.config.durability is not None:
+            recovery_report = metrics.recovery_report()
         return cls(
             label=result.label,
             seed=result.config.seed,
@@ -133,6 +140,7 @@ class RunSummary:
             peak_rss_bytes=worker_peak_rss_bytes(),
             fault_report=fault_report,
             timeline=timeline,
+            recovery_report=recovery_report,
         )
 
     def to_dict(self) -> dict:
@@ -154,6 +162,7 @@ class RunSummary:
             "peak_rss_bytes": self.peak_rss_bytes,
             "fault_report": self.fault_report,
             "timeline": self.timeline,
+            "recovery_report": self.recovery_report,
         }
 
     @classmethod

@@ -8,9 +8,14 @@ from typing import Optional, TYPE_CHECKING
 from repro.config import ProtocolConfig
 from repro.metrics import MetricsHub
 from repro.replica.behavior import Behavior, HonestBehavior, SilentReplica
-from repro.sim.interfaces import Envelope, Scheduler, Transport
+from repro.sim.interfaces import Channel, Envelope, Scheduler, Transport
 from repro.types import TxBatch
 from repro.types.proposal import Block
+
+#: Estimated wire size of a snapshot-request control message.
+_SNAP_REQ_BYTES = 64
+#: Fixed overhead of a snapshot reply on top of its key/value entries.
+_SNAP_ENTRY_BYTES = 16
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.consensus.base import ConsensusEngine
@@ -62,6 +67,9 @@ class Replica:
         self._pre_crash_behavior: Optional[Behavior] = None
         self._exec_buffer: dict[int, Block] = {}
         self._exec_height = 0
+        #: Snapshot state-transfer counters (durable executors only).
+        self.snapshots_served = 0
+        self.snapshots_installed = 0
         network.register(node_id, self.handle)
 
     def attach(
@@ -73,6 +81,10 @@ class Replica:
         self.mempool = mempool
         self.consensus = consensus
         self.executor = executor
+        if executor is not None:
+            # A durable executor may already hold recovered state; resume
+            # execution where its WAL/checkpoint cursor left off.
+            self._exec_height = getattr(executor, "last_height", 0)
 
     # -- event entry points --------------------------------------------
 
@@ -119,7 +131,29 @@ class Replica:
             self.consensus.resume()
         if self.mempool is not None:
             self.mempool.on_restart()
+        if self.executor is not None and hasattr(self.executor, "reopen"):
+            self._recover_executor()
         self.trace("restart")
+
+    def _recover_executor(self) -> None:
+        """Durable restart: the in-memory executor state is lost with the
+        process; recover a fresh store from the same data directory
+        (checkpoint + WAL tail), then ask peers for a snapshot in case
+        the cluster's commit frontier moved on while we were down."""
+        self.executor = self.executor.reopen()
+        self._exec_height = self.executor.last_height
+        # The pre-crash buffer lived in the dead process's memory.
+        self._exec_buffer.clear()
+        recovery = self.executor.recovery
+        self.metrics.record_recovery(self.node_id, recovery.to_dict())
+        self.trace(
+            "executor_recovered",
+            source=recovery.source,
+            height=self._exec_height,
+            wal_blocks=recovery.wal_blocks_replayed,
+        )
+        if self.executor.config.snapshot_transfer:
+            self.request_state_snapshot()
 
     def handle(self, envelope: Envelope) -> None:
         """Network delivery: route by message-kind prefix."""
@@ -127,6 +161,8 @@ class Replica:
             return  # defence in depth; the network drops these already
         if envelope.kind.startswith("ce."):
             self.consensus.on_message(envelope)
+        elif envelope.kind.startswith("state."):
+            self.on_state_message(envelope)
         else:
             self.mempool.on_message(envelope)
 
@@ -146,10 +182,67 @@ class Replica:
         """
         if self.executor is None:
             return
-        self._exec_buffer[block.proposal.height] = block
+        height = block.proposal.height
+        if height <= self._exec_height:
+            return  # already covered by recovered/snapshot state
+        self._exec_buffer[height] = block
+        self._drain_exec_buffer()
+
+    def _drain_exec_buffer(self) -> None:
         while self._exec_height + 1 in self._exec_buffer:
             self._exec_height += 1
             self.executor.apply_block(self._exec_buffer.pop(self._exec_height))
+
+    # -- snapshot state transfer ---------------------------------------
+
+    def request_state_snapshot(self) -> None:
+        """Broadcast ``state.snap_req`` carrying our applied height; any
+        peer that is ahead replies with a full snapshot."""
+        executor = self.executor
+        if executor is None or not hasattr(executor, "snapshot_payload"):
+            return
+        from repro.mempool.base import MessageKinds
+        self.network.broadcast(
+            self.node_id,
+            MessageKinds.STATE_SNAPSHOT_REQ,
+            _SNAP_REQ_BYTES,
+            executor.last_height,
+            Channel.CONTROL,
+        )
+        self.trace("snapshot_request", height=executor.last_height)
+
+    def on_state_message(self, envelope: Envelope) -> None:
+        """Serve and install snapshot state transfer messages."""
+        executor = self.executor
+        if executor is None or not hasattr(executor, "snapshot_payload"):
+            return
+        from repro.mempool.base import MessageKinds
+        if envelope.kind == MessageKinds.STATE_SNAPSHOT_REQ:
+            their_height = int(envelope.payload)
+            if executor.last_height <= their_height:
+                return  # nothing to offer
+            payload = executor.snapshot_payload()
+            size = _SNAP_REQ_BYTES + _SNAP_ENTRY_BYTES * len(payload[5])
+            self.network.send(
+                self.node_id, envelope.src, MessageKinds.STATE_SNAPSHOT,
+                size, payload, Channel.DATA,
+            )
+            self.snapshots_served += 1
+            self.trace(
+                "snapshot_served", to=envelope.src, height=payload[0]
+            )
+        elif envelope.kind == MessageKinds.STATE_SNAPSHOT:
+            if executor.install_snapshot(envelope.payload):
+                self._exec_height = executor.last_height
+                # Buffered blocks at or below the snapshot height are
+                # superseded; keep only the frontier.
+                self._exec_buffer = {
+                    h: b for h, b in self._exec_buffer.items()
+                    if h > self._exec_height
+                }
+                self.snapshots_installed += 1
+                self.trace("snapshot_install", height=self._exec_height)
+                self._drain_exec_buffer()
 
     # -- verification taps ---------------------------------------------
 

@@ -68,3 +68,50 @@ def test_corpus_scenario_clean(root, index, consensus, mempool):
     assert outcome.ok, "\n".join(str(v) for v in outcome.violations)
     assert outcome.committed_tx > 0
     assert elapsed < SCENARIO_BUDGET_S
+
+
+# -- durability cells --------------------------------------------------------
+#
+# The restart-under-chaos corpus: crash-restart preset with the durable
+# executor attached, one cell per fsync policy. Unlike the grid corpus
+# above these are not fuzzer-derived — the point is that a replica that
+# loses its memory mid-run recovers from its own disk (checkpoint + WAL
+# tail), not by replaying the whole protocol history, and the invariant
+# oracles still see zero violations.
+
+@pytest.mark.parametrize("fsync", ["always", "interval"])
+def test_restart_under_chaos_recovers_from_disk(tmp_path, fsync):
+    from repro.config import ProtocolConfig
+    from repro.durability import DurabilityConfig
+    from repro.harness.config import ExperimentConfig
+    from repro.harness.presets import chaos_schedule
+    from repro.harness.runner import build_experiment
+    from repro.verification import standard_suite
+
+    protocol = ProtocolConfig(
+        n=4, consensus="hotstuff", mempool="stratus",
+        batch_bytes=4 * 128, batch_timeout=0.05, view_timeout=0.5,
+    )
+    config = ExperimentConfig(
+        protocol=protocol, rate_tps=400.0, duration=6.0, warmup=0.5,
+        seed=7, label=f"durable-crash-restart-{fsync}",
+        faults=chaos_schedule("crash-restart", 4),
+        durability=DurabilityConfig(fsync=fsync, checkpoint_interval=4),
+        data_dir=str(tmp_path),
+    )
+    started = time.monotonic()
+    experiment = build_experiment(config, standard_suite())
+    result = experiment.run()
+    elapsed = time.monotonic() - started
+    assert result.violations == []
+    assert result.committed_tx > 0
+    # Replica 3 (the preset's victim) restarted at t=4 s; its executor
+    # must have been re-opened from disk, not rebuilt from genesis.
+    victim = experiment.replicas[3].executor
+    assert victim.recovery.source in ("checkpoint", "checkpoint+wal")
+    assert victim.recovery.checkpoint_height > 0
+    # And the hub carries the recovery record for reporting.
+    report = experiment.metrics.recovery_report()
+    assert [row["node"] for row in report] == [3]
+    assert report[0]["source"] == victim.recovery.source
+    assert elapsed < SCENARIO_BUDGET_S

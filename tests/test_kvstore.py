@@ -1,9 +1,11 @@
 """Unit tests for the KV state machine."""
 
+import hashlib
+
 import pytest
 
 from repro.crypto import GENESIS_QC
-from repro.kvstore import KVStore
+from repro.kvstore import KVStore, kv_digest
 from repro.types import MicroBlock, make_microblock_id
 from repro.types.proposal import Block, Payload, PayloadEntry, Proposal
 
@@ -71,3 +73,36 @@ def test_writes_visible():
 def test_invalid_key_space():
     with pytest.raises(ValueError):
         KVStore(key_space=0)
+
+
+def test_digest_is_stable_hex_not_process_salted():
+    """The digest must be reproducible in another process: sha256-based,
+    never the per-process-salted builtin ``hash``."""
+    store = KVStore()
+    store.apply_block(make_block((4, 6)))
+    digest = store.state_digest()
+    assert isinstance(digest, str)
+    assert len(digest) == 64
+    int(digest, 16)  # valid hex
+    # Recompute from first principles: XOR of per-pair sha256 digests.
+    acc = bytearray(32)
+    for key in range(10_000):
+        value = store.get(key)
+        if value:
+            pair = hashlib.sha256(f"{key}:{value}".encode()).digest()
+            acc = bytearray(a ^ b for a, b in zip(acc, pair))
+    assert digest == bytes(acc).hex()
+
+
+def test_digest_order_independent():
+    assert kv_digest({1: 2, 3: 4}) == kv_digest({3: 4, 1: 2})
+    assert kv_digest({}) == "0" * 64
+
+
+def test_apply_tracks_height_cursor():
+    store = KVStore()
+    store.apply_block(make_block((4,), counter=0))
+    store.apply_block(make_block((4,), counter=1))
+    assert store.last_height == 2
+    assert store.last_block_id == 2
+    assert store.blocks_applied == 2

@@ -308,3 +308,33 @@ def test_live_partition_heals_and_recovers():
     (window,) = result.fault_report
     assert window["kind"] == "partition"
     assert window["time_to_recover"] != float("inf")
+
+
+@pytest.mark.slow
+def test_live_crash_restart_recovers_from_durable_state():
+    from repro.durability import DurabilityConfig
+
+    config = _chaos_config("crash-restart")
+    config.durability = DurabilityConfig(fsync="interval", checkpoint_interval=8)
+    result = run_live(config)
+    assert result.violations == []
+    assert result.committed_blocks > 0
+    # The respawned generation opened the same node-keyed data dir the
+    # SIGKILLed gen-0 process wrote, so its executor came back from the
+    # checkpoint and/or WAL tail — not from genesis.
+    rows = {
+        (row["node"], row["generation"]): row
+        for row in result.recovery_report
+    }
+    victim = rows[(3, 1)]
+    assert victim["source"] in ("checkpoint", "checkpoint+wal", "wal")
+    assert victim["wal_blocks_replayed"] >= 0
+    # Survivors report too (gen 0, nothing on disk yet).
+    assert rows[(0, 0)]["source"] == "fresh"
+    # The respawned replica committed again after recovery.
+    respawned = [
+        row for row in result.per_replica
+        if row["node_id"] == 3 and row["generation"] == 1
+    ]
+    assert respawned and respawned[0]["commits"] > 0
+    assert respawned[0]["recovery_source"] == victim["source"]

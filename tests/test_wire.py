@@ -75,6 +75,17 @@ proposals = st.builds(
     proposer=nodes, parent_id=ids, justify=qcs, payload=payloads,
     created_at=times,
 )
+digests = st.text(alphabet="0123456789abcdef", min_size=64, max_size=64)
+kv_data = st.dictionaries(
+    st.integers(min_value=0, max_value=100_000),
+    st.integers(min_value=1, max_value=2**32),
+    max_size=16,
+)
+# (height, last_block_id, digest, tx_applied, blocks_applied, data)
+snapshots = st.tuples(
+    st.integers(0, 10_000), ids, digests,
+    st.integers(0, 2**40), st.integers(0, 10_000), kv_data,
+)
 
 #: One strategy per registered message kind, matching the payload each
 #: kind actually carries on the wire.
@@ -102,6 +113,8 @@ PAYLOADS_BY_KIND = {
     MessageKinds.PBFT_PREPARE: st.tuples(st.integers(0, 10_000), nodes),
     MessageKinds.PBFT_COMMIT: st.tuples(st.integers(0, 10_000), nodes),
     CLIENT_BATCH: batches,
+    MessageKinds.STATE_SNAPSHOT_REQ: st.integers(0, 10_000),
+    MessageKinds.STATE_SNAPSHOT: snapshots,
 }
 
 any_message = st.sampled_from(sorted(MESSAGE_REGISTRY)).flatmap(
