@@ -114,6 +114,35 @@ def profile_breakdown(profiler: cProfile.Profile) -> dict:
     }
 
 
+def run_netbench_scenario(
+    scenario: PerfScenario, scale: float, profile: bool
+) -> dict:
+    """Run one dissemination-bench cell (kind="netbench")."""
+    from repro.harness import run_netbench
+
+    result = run_netbench(scenario.build_netbench(scale))
+    entry = {
+        "kind": "netbench",
+        "events": result.events_processed,
+        "wall_s": round(result.wall_clock_s, 4),
+        "events_per_sec": round(result.events_per_sec, 1),
+        "sim_seconds": result.sim_seconds,
+        "delivered": result.delivered,
+        "dropped": result.dropped,
+        # The bench's determinism digest plays the commit hash's role:
+        # serial and --jobs runs must agree byte for byte.
+        "commit_hash": result.fingerprint,
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+    if profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        run_netbench(scenario.build_netbench(scale))
+        profiler.disable()
+        entry["profile"] = profile_breakdown(profiler)
+    return entry
+
+
 def run_scenario(
     scenario: PerfScenario, scale: float, profile: bool
 ) -> dict:
@@ -122,10 +151,14 @@ def run_scenario(
     The timed pass never runs under the profiler — instrumentation
     overhead would poison the events/sec number.
     """
+    if scenario.kind == "netbench":
+        return run_netbench_scenario(scenario, scale, profile)
     experiment = build_experiment(scenario.build_config(scale))
-    start = time.perf_counter()
     result = experiment.run()
-    wall = time.perf_counter() - start
+    # The result's own wall-clock covers exactly the event loop (the
+    # same definition the --jobs worker path reports), not the summary
+    # bookkeeping around it.
+    wall = result.wall_clock_s
     events = experiment.sim.processed
     entry = {
         "events": events,
@@ -187,11 +220,13 @@ def main(argv: Optional[list] = None) -> int:
 
     scenarios = get_scenarios(args.scenario)
     if jobs > 1:
-        from repro.parallel import ParallelExecutor, experiment_job
+        from repro.parallel import ParallelExecutor, experiment_job, netbench_job
 
         executor = ParallelExecutor(jobs=jobs)
         specs = [
-            experiment_job(scenario.build_config(scale))
+            netbench_job(scenario.build_netbench(scale))
+            if scenario.kind == "netbench"
+            else experiment_job(scenario.build_config(scale))
             for scenario in scenarios
         ]
         print(f"[perf] {len(specs)} scenario(s) across {jobs} workers ...",
@@ -206,18 +241,35 @@ def main(argv: Optional[list] = None) -> int:
                     f"[perf] {scenario.name} failed after "
                     f"{job.attempts} attempt(s): {job.error}"
                 )
-            summary = job.summary
             worker_wall_total += job.value["worker_wall_s"]
-            entry = {
-                "events": summary.events_processed,
-                "wall_s": round(summary.wall_clock_s, 4),
-                "events_per_sec": round(summary.events_per_sec, 1),
-                "sim_seconds": scenario.build_config(scale).end_time,
-                "committed_tx": summary.committed_tx,
-                "throughput_tps": round(summary.throughput_tps, 1),
-                "commit_hash": summary.commit_hash,
-                "peak_rss_bytes": summary.peak_rss_bytes,
-            }
+            if scenario.kind == "netbench":
+                bench = job.value["netbench"]
+                wall = bench["wall_clock_s"]
+                entry = {
+                    "kind": "netbench",
+                    "events": bench["events_processed"],
+                    "wall_s": round(wall, 4),
+                    "events_per_sec": round(
+                        bench["events_processed"] / wall, 1
+                    ) if wall > 0 else 0.0,
+                    "sim_seconds": bench["sim_seconds"],
+                    "delivered": bench["delivered"],
+                    "dropped": bench["dropped"],
+                    "commit_hash": bench["fingerprint"],
+                    "peak_rss_bytes": job.value["worker_peak_rss_bytes"],
+                }
+            else:
+                summary = job.summary
+                entry = {
+                    "events": summary.events_processed,
+                    "wall_s": round(summary.wall_clock_s, 4),
+                    "events_per_sec": round(summary.events_per_sec, 1),
+                    "sim_seconds": scenario.build_config(scale).end_time,
+                    "committed_tx": summary.committed_tx,
+                    "throughput_tps": round(summary.throughput_tps, 1),
+                    "commit_hash": summary.commit_hash,
+                    "peak_rss_bytes": summary.peak_rss_bytes,
+                }
             report["scenarios"][scenario.name] = entry
             print(
                 f"[perf]   {scenario.name}: {entry['events']} events in "

@@ -13,12 +13,23 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.faults import FaultSchedule
-from repro.harness import ExperimentConfig, chaos_schedule, tuned_protocol
+from repro.harness import (
+    ExperimentConfig,
+    NetBenchConfig,
+    chaos_schedule,
+    tuned_protocol,
+)
 
 
 @dataclass(frozen=True)
 class PerfScenario:
-    """One benchmark workload: a preset protocol under a fixed seed."""
+    """One benchmark workload: a preset protocol under a fixed seed.
+
+    ``kind`` selects the runner: ``"protocol"`` cells build a full
+    experiment; ``"netbench"`` cells run the dissemination microbench
+    (``repro.harness.netbench``), where ``rate_tps`` is re-read as
+    broadcasts per second per node and ``msg_bytes`` sizes each payload.
+    """
 
     name: str
     preset: str
@@ -30,6 +41,22 @@ class PerfScenario:
     seed: int = 1
     chaos: Optional[str] = None
     view_timeout: Optional[float] = None
+    link_model: str = "serial"
+    workload_mode: str = "ticks"
+    offered_clients: Optional[int] = None
+    kind: str = "protocol"
+    msg_bytes: float = 128 * 1024
+
+    def build_netbench(self, scale: float = 1.0) -> NetBenchConfig:
+        """Materialize a dissemination-bench config (kind="netbench")."""
+        return NetBenchConfig(
+            n=self.n,
+            msg_bytes=self.msg_bytes,
+            rate_per_node=self.rate_tps,
+            duration=max(0.25, self.duration * scale),
+            seed=self.seed,
+            label=self.name,
+        )
 
     def build_config(self, scale: float = 1.0) -> ExperimentConfig:
         """Materialize the experiment config, optionally time-scaled.
@@ -55,6 +82,9 @@ class PerfScenario:
             warmup=self.warmup,
             seed=self.seed,
             faults=faults,
+            link_model=self.link_model,
+            workload_mode=self.workload_mode,
+            offered_clients=self.offered_clients,
             label=self.name,
         )
 
@@ -80,6 +110,23 @@ SCENARIOS: tuple[PerfScenario, ...] = (
         name="chaos-crash-partition",
         preset="S-HS", n=8, rate_tps=5_000.0, duration=5.0,
         chaos="crash-partition", view_timeout=0.5,
+    ),
+    # Dissemination fabric ceiling at n=128: every node broadcasts
+    # 128 KB (the paper's microblock size) at 100/s into trivial
+    # handlers, saturating each 1 Gb/s uplink ~13x so segments stay
+    # full. rate_tps is broadcasts/s per node here (see PerfScenario).
+    PerfScenario(
+        name="disseminate-128",
+        preset="none", n=128, rate_tps=100.0, duration=1.0,
+        kind="netbench", seed=7,
+    ),
+    # Fig. 6's far edge: Stratus/HotStuff at n=128 with one million
+    # offered clients, arrivals generated in aggregate (flow-level)
+    # mode so the client population costs O(ticks), not O(tx).
+    PerfScenario(
+        name="stratus-hotstuff-128",
+        preset="S-HS", n=128, rate_tps=250_000.0, duration=2.0,
+        workload_mode="aggregate", offered_clients=1_000_000,
     ),
 )
 

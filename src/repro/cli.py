@@ -199,6 +199,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--pab-quorum", type=int, default=None)
     parser.add_argument("--lb-samples", type=int, default=None)
     parser.add_argument("--view-timeout", type=float, default=None)
+    parser.add_argument("--link-model", choices=["serial", "fair-share"],
+                        default="serial",
+                        help="uplink model: store-and-forward serialization "
+                             "or fair-share capacity splitting")
+    parser.add_argument("--workload-mode", choices=["ticks", "aggregate"],
+                        default="ticks",
+                        help="client arrival generation: per-tick batches "
+                             "or lazily-replayed aggregate streams "
+                             "(identical schedules, far fewer events)")
+    parser.add_argument("--clients", type=int, default=None,
+                        metavar="COUNT",
+                        help="offered client population the rate stands "
+                             "for (recorded in results; requires "
+                             "--workload-mode aggregate to be cheap at "
+                             "large counts)")
     parser.add_argument("--disturb", nargs=2, type=float, default=None,
                         metavar=("START", "DURATION"),
                         help="inject a Fig.7-style disturbance window")
@@ -531,6 +546,9 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
                 selector=args.selector,
                 fault=args.fault,
                 fault_count=args.fault_count,
+                link_model=args.link_model,
+                workload_mode=args.workload_mode,
+                offered_clients=args.clients,
                 fluctuation=fluctuation,
                 # Preset schedules depend on n (the crash victim is the
                 # highest id), so resolution happens per sweep cell.

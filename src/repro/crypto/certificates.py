@@ -21,6 +21,15 @@ class QuorumCert:
     def size_bytes(self) -> int:
         return sizes.QC
 
+    # Memoized verification parameters (plain class attributes, not
+    # dataclass fields — they stay out of eq/repr/hash). A QC object is
+    # shared by every receiver of the proposal carrying it, so after the
+    # first full check ``verify_quorum_cert`` is two int compares. Only
+    # *successful* checks are cached: forged or malformed certs take the
+    # full path every time.
+    _verified_quorum = -1
+    _verified_n = -1
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"QC(block={self.block_id}, view={self.view}, |S|={len(self.signers)})"
 
@@ -48,7 +57,11 @@ def make_quorum_cert(
 
 def verify_quorum_cert(qc: QuorumCert, quorum: int, n: int) -> bool:
     """Structural QC verification; the genesis QC is always valid."""
+    if qc._verified_quorum == quorum and qc._verified_n == n:
+        return True
     if qc == GENESIS_QC:
+        object.__setattr__(qc, "_verified_quorum", quorum)
+        object.__setattr__(qc, "_verified_n", n)
         return True
     if qc.forged:
         return False
@@ -57,7 +70,11 @@ def verify_quorum_cert(qc: QuorumCert, quorum: int, n: int) -> bool:
         return False
     if any(not 0 <= signer < n for signer in signers):
         return False
-    return len(signers) >= quorum
+    if len(signers) < quorum:
+        return False
+    object.__setattr__(qc, "_verified_quorum", quorum)
+    object.__setattr__(qc, "_verified_n", n)
+    return True
 
 
 def vote_signature(signer: int, block_id: int, view: int) -> Signature:

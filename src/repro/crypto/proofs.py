@@ -37,6 +37,15 @@ class AvailabilityProof:
     def size_bytes(self) -> int:
         return sizes.availability_proof_bytes(max(1, len(self.signers)))
 
+    # Memoized verification parameters (plain class attributes, not
+    # dataclass fields). One proof object is shared by every receiver of
+    # the proposal or PROOF broadcast carrying it, so the O(quorum)
+    # structural check runs once per proof instead of once per receiver.
+    # Only successful checks are cached; the ``mb_id`` binding is still
+    # re-checked on every call.
+    _verified_quorum = -1
+    _verified_n = -1
+
 
 def make_availability_proof(
     mb_id: int, acks: list[Signature], quorum: int, n: int
@@ -62,13 +71,19 @@ def verify_availability_proof(
     proof: AvailabilityProof, mb_id: int, quorum: int, n: int
 ) -> bool:
     """``threshold-verify`` in Algorithms 2 and 3."""
-    if proof.forged:
-        return False
     if proof.mb_id != mb_id:
+        return False
+    if proof._verified_quorum == quorum and proof._verified_n == n:
+        return True
+    if proof.forged:
         return False
     signers = set(proof.signers)
     if len(signers) != len(proof.signers):
         return False
     if any(not 0 <= signer < n for signer in signers):
         return False
-    return len(signers) >= quorum
+    if len(signers) < quorum:
+        return False
+    object.__setattr__(proof, "_verified_quorum", quorum)
+    object.__setattr__(proof, "_verified_n", n)
+    return True

@@ -14,6 +14,7 @@ from repro.harness.runner import (
     build_experiment,
     run_experiment,
 )
+from repro.harness.netbench import NetBenchConfig, NetBenchResult, run_netbench
 from repro.harness.report import format_table, format_series
 from repro.harness.repeat import ReplicatedResult, run_replicated
 
@@ -30,6 +31,9 @@ __all__ = [
     "RunningExperiment",
     "build_experiment",
     "run_experiment",
+    "NetBenchConfig",
+    "NetBenchResult",
+    "run_netbench",
     "format_table",
     "format_series",
 ]

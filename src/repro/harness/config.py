@@ -13,6 +13,8 @@ from repro.sim.topology import FluctuationWindow
 
 SELECTORS = ("uniform", "zipf1", "zipf10")
 FAULTS = ("none", "silent", "censor", "lying")
+LINK_MODELS = ("serial", "fair-share")
+WORKLOAD_MODES = ("ticks", "aggregate")
 
 
 @dataclass
@@ -35,6 +37,17 @@ class ExperimentConfig:
     tick: float = 0.01
     attach_executor: bool = False
     priority_channels: bool = True
+    #: Link model: "serial" store-and-forward (Appendix-A exact) or
+    #: "fair-share" (concurrent transfers split uplink/downlink capacity).
+    link_model: str = "serial"
+    #: Workload mode: "ticks" (per-tick batches) or "aggregate"
+    #: (lazily-replayed arrival streams; identical schedules, far fewer
+    #: events — see DESIGN.md "Simulator scale-out").
+    workload_mode: str = "ticks"
+    #: Descriptive size of the client population the offered rate stands
+    #: for (recorded in benchmark metadata; arrivals are aggregate either
+    #: way, so simulation cost does not depend on it).
+    offered_clients: Optional[int] = None
     fluctuation: Optional[FluctuationWindow] = None
     #: Scripted fault schedule (crashes, partitions, loss windows...),
     #: compiled onto the event queue by :class:`repro.faults.FaultInjector`.
@@ -71,6 +84,25 @@ class ExperimentConfig:
             )
         if self.duration <= 0 or self.warmup < 0:
             raise ValueError("duration must be > 0 and warmup >= 0")
+        if self.link_model not in LINK_MODELS:
+            raise ValueError(
+                f"link_model must be one of {LINK_MODELS}, "
+                f"got {self.link_model!r}"
+            )
+        if self.workload_mode not in WORKLOAD_MODES:
+            raise ValueError(
+                f"workload_mode must be one of {WORKLOAD_MODES}, "
+                f"got {self.workload_mode!r}"
+            )
+        if self.offered_clients is not None and self.offered_clients <= 0:
+            raise ValueError(
+                f"offered_clients must be positive, got {self.offered_clients}"
+            )
+        if self.link_model == "fair-share" and self.data_limiter is not None:
+            raise ValueError(
+                "data_limiter requires link_model='serial' "
+                "(fair-share links model contention directly)"
+            )
         if self.faults is not None:
             self.faults.validate(self.protocol.n)
 
@@ -110,6 +142,9 @@ class ExperimentConfig:
             "tick": self.tick,
             "attach_executor": self.attach_executor,
             "priority_channels": self.priority_channels,
+            "link_model": self.link_model,
+            "workload_mode": self.workload_mode,
+            "offered_clients": self.offered_clients,
             "fluctuation": (
                 dataclasses.asdict(self.fluctuation)
                 if self.fluctuation is not None else None

@@ -176,13 +176,36 @@ class Mempool(abc.ABC):
         they own so the content is eventually proposed again
         (SMP-Inclusion)."""
 
+    @property
+    def batcher(self):
+        """The mempool's :class:`MicroBlockBatcher`, or None.
+
+        Batching mempools override this; the aggregate workload mode
+        needs it to wire per-replica arrival streams, and the crash /
+        restart hooks below forward through it."""
+        return None
+
+    def on_crash(self) -> None:
+        """The host replica is about to crash (gate still open).
+
+        Called by ``Replica.crash`` *before* the crashed flag is set, so
+        an attached arrival stream can digest the ticks that reached the
+        replica while it was still up."""
+        batcher = self.batcher
+        if batcher is not None:
+            batcher.on_crash()
+
     def on_restart(self) -> None:
-        """The host replica restarted after a crash (default: nothing).
+        """The host replica restarted after a crash.
 
         Implementations resume work that was in flight when the crash
         flushed the network queues — e.g. Stratus re-pushes microblocks
         whose availability proofs never formed because the acks were
-        dropped."""
+        dropped. Overrides must call ``super().on_restart()`` so an
+        attached arrival stream resumes too."""
+        batcher = self.batcher
+        if batcher is not None:
+            batcher.on_restart()
 
     # -- network ---------------------------------------------------------
 

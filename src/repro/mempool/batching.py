@@ -37,6 +37,7 @@ class MicroBlockBatcher:
         self._counter = 0
         self._base = 0
         self._flush_timer: Optional[Timer] = None
+        self._arrivals = None
 
     @property
     def pending_tx_count(self) -> int:
@@ -45,6 +46,37 @@ class MicroBlockBatcher:
     @property
     def microblocks_emitted(self) -> int:
         return self._counter - self._base
+
+    @property
+    def capacity(self) -> int:
+        """Transactions per full microblock (arrival-stream planning)."""
+        return self._config.txs_per_microblock
+
+    @property
+    def flush_deadline(self) -> Optional[float]:
+        """When the armed flush timer fires, or None when disarmed."""
+        timer = self._flush_timer
+        return timer.deadline if timer is not None else None
+
+    def attach_arrivals(self, arrivals) -> None:
+        """Wire an aggregate-mode arrival stream to pull from (two-way).
+
+        With a stream attached the batcher *pulls* the tick backlog just
+        before flushing, so a partial flush covers exactly the ticks the
+        per-tick delivery path would have delivered by then.
+        """
+        self._arrivals = arrivals
+        arrivals.bind(self)
+
+    def on_crash(self) -> None:
+        """Host is crashing: let the stream digest pre-crash ticks."""
+        if self._arrivals is not None:
+            self._arrivals.on_crash()
+
+    def on_restart(self) -> None:
+        """Host restarted: the stream drops the outage window's ticks."""
+        if self._arrivals is not None:
+            self._arrivals.on_restart()
 
     def rebase(self, base: int) -> None:
         """Start ids at ``base`` (see ``Mempool.rebase_microblock_ids``)."""
@@ -75,8 +107,16 @@ class MicroBlockBatcher:
             self._emit_microblock(self._pending_count)
 
     def _flush(self) -> None:
+        arrivals = self._arrivals
+        if arrivals is not None:
+            # Pull ticks strictly before the deadline while the timer is
+            # still armed (so add() doesn't re-arm it); per-tick delivery
+            # would have landed them all before this event fired.
+            arrivals.settle_before(self._host.sim.now)
         self._flush_timer = None
         self.flush()
+        if arrivals is not None:
+            arrivals.reschedule()
 
     def _emit_microblock(self, tx_count: int) -> None:
         mean_arrival = self._pending_sum_arrival / self._pending_count

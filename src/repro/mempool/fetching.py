@@ -9,13 +9,12 @@ the availability proof's signers.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, TYPE_CHECKING
+from typing import Callable, TYPE_CHECKING
 
 from repro.config import ProtocolConfig
 from repro.sim.network import Channel
 from repro.mempool.base import MessageKinds
 from repro.mempool.store import MicroBlockStore
-from repro.sim.engine import Timer
 from repro.types import sizes
 from repro.types.microblock import MicroBlockId
 
@@ -45,13 +44,12 @@ def backoff_delay(config: ProtocolConfig, rounds: int, rng) -> float:
 
 
 class _PendingFetch:
-    __slots__ = ("mb_id", "targets_provider", "requested", "timer", "rounds")
+    __slots__ = ("mb_id", "targets_provider", "requested", "rounds")
 
     def __init__(self, mb_id: MicroBlockId, targets_provider: TargetProvider):
         self.mb_id = mb_id
         self.targets_provider = targets_provider
         self.requested: set[int] = set()
-        self.timer: Optional[Timer] = None
         self.rounds = 0
 
 
@@ -92,9 +90,12 @@ class FetchManager:
         self._pending[mb_id] = pending
         self._store.on_delivery(mb_id, lambda _mb: self._delivered(mb_id))
         if delay > 0:
-            pending.timer = self._host.sim.schedule(
-                delay, lambda: self._round(pending)
-            )
+            # Fire-path timer: no Timer/closure allocation. Most fetches
+            # are satisfied by the in-flight broadcast copy before the
+            # grace delay elapses, so the round callback guards against
+            # a resolved (or replaced) pending entry instead of being
+            # cancelled.
+            self._host.sim.schedule_fire(delay, self._round, pending)
         else:
             self._round(pending)
 
@@ -115,14 +116,15 @@ class FetchManager:
 
     def cancel(self, mb_id: MicroBlockId) -> None:
         """Stop fetching ``mb_id`` (e.g. its block was GC'd or abandoned)."""
-        pending = self._pending.pop(mb_id, None)
-        if pending is not None and pending.timer is not None:
-            pending.timer.cancel()
+        self._pending.pop(mb_id, None)
 
     # -- internal ----------------------------------------------------------
 
     def _round(self, pending: _PendingFetch) -> None:
-        if pending.mb_id not in self._pending:
+        # Identity check, not membership: the same mb_id may have been
+        # cancelled and re-requested, in which case this fire event
+        # belongs to the dead incarnation.
+        if self._pending.get(pending.mb_id) is not pending:
             return
         pending.rounds += 1
         if (
@@ -147,22 +149,18 @@ class FetchManager:
                 Channel.CONTROL,
             )
             self._host.metrics.record_fetch()
-        pending.timer = self._host.sim.schedule(
+        self._host.sim.schedule_fire(
             backoff_delay(self._config, pending.rounds, self._host.rng),
-            lambda: self._round(pending),
+            self._round, pending,
         )
 
     def _abandon(self, pending: _PendingFetch) -> None:
         self._pending.pop(pending.mb_id, None)
-        if pending.timer is not None:
-            pending.timer.cancel()
         self._host.metrics.record_fetch_abandoned()
         self._host.trace("fetch_abandoned", microblock=pending.mb_id)
 
     def _delivered(self, mb_id: MicroBlockId) -> None:
-        pending = self._pending.pop(mb_id, None)
-        if pending is not None and pending.timer is not None:
-            pending.timer.cancel()
+        self._pending.pop(mb_id, None)
 
 
 def sampled_signers(

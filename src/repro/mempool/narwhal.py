@@ -59,6 +59,10 @@ class NarwhalMempool(Mempool):
 
     # -- dissemination -------------------------------------------------
 
+    @property
+    def batcher(self) -> MicroBlockBatcher:
+        return self._batcher
+
     def on_client_batch(self, batch: TxBatch) -> None:
         self._batcher.add(batch)
 

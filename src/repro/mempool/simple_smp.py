@@ -43,6 +43,10 @@ class SimpleSharedMempool(Mempool):
 
     # -- client / dissemination -------------------------------------------
 
+    @property
+    def batcher(self) -> MicroBlockBatcher:
+        return self._batcher
+
     def on_client_batch(self, batch: TxBatch) -> None:
         self._batcher.add(batch)
 

@@ -67,6 +67,10 @@ class StratusMempool(Mempool):
 
     # -- client / dissemination -------------------------------------------
 
+    @property
+    def batcher(self) -> MicroBlockBatcher:
+        return self._batcher
+
     def on_client_batch(self, batch: TxBatch) -> None:
         self._batcher.add(batch)
 
@@ -117,6 +121,7 @@ class StratusMempool(Mempool):
         self._add_available(mb_id, proof)
 
     def on_restart(self) -> None:
+        super().on_restart()
         repushed = self.pab.repush_pending()
         if repushed:
             self.host.trace("mb_repush", count=repushed)

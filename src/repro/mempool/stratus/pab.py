@@ -53,8 +53,8 @@ class _PushState:
     """Ack bookkeeping for one PAB instance at its pusher."""
 
     __slots__ = (
-        "microblock", "acks", "started_at", "on_available", "done",
-        "targets", "timer", "rounds",
+        "microblock", "acks", "signers", "started_at", "on_available",
+        "done", "targets", "timer", "rounds",
     )
 
     def __init__(
@@ -62,10 +62,13 @@ class _PushState:
         microblock: MicroBlock,
         started_at: float,
         on_available: OnAvailable,
-        targets: list[int],
+        targets,
     ) -> None:
         self.microblock = microblock
         self.acks: list[Signature] = []
+        #: Distinct ack signers, maintained incrementally — the quorum
+        #: check is O(1) per ack instead of rebuilding a set every time.
+        self.signers: set[int] = set()
         self.started_at = started_at
         self.on_available = on_available
         self.done = False
@@ -98,6 +101,10 @@ class PabEngine:
         self._retry_floor = retry_floor
         self._pushes: dict[MicroBlockId, _PushState] = {}
         self._proofs: dict[MicroBlockId, AvailabilityProof] = {}
+        #: Default push fan-out (everyone else), computed once.
+        self._all_peers: tuple[int, ...] = tuple(
+            node for node in range(config.n) if node != host.node_id
+        )
 
     # -- pusher role -------------------------------------------------------
 
@@ -115,22 +122,22 @@ class PabEngine:
         sender).
         """
         self._store.add(microblock)
-        if targets is None:
-            targets = [
-                node for node in range(self._config.n)
-                if node != self._host.node_id
-            ]
+        explicit = targets is not None
         state = _PushState(
-            microblock, self._host.sim.now, on_available, list(targets)
+            microblock, self._host.sim.now, on_available,
+            list(targets) if explicit else self._all_peers,
         )
         self._pushes[microblock.id] = state
         state.acks.append(sign(self._host.node_id, microblock.id))
+        state.signers.add(self._host.node_id)
         self._host.network.broadcast(
             self._host.node_id,
             MessageKinds.MICROBLOCK,
             microblock.size_bytes,
             microblock,
-            recipients=targets,
+            # None lets the network use its cached default fan-out
+            # (everyone else) without re-validating a recipient list.
+            recipients=list(targets) if explicit else None,
         )
         self._arm_retry(state)
         self._maybe_complete(state)
@@ -174,7 +181,7 @@ class PabEngine:
         if state.done or state.microblock.id not in self._pushes:
             return
         state.rounds += 1
-        acked = {ack.signer for ack in state.acks}
+        acked = state.signers
         missing = [node for node in state.targets if node not in acked]
         if missing:
             self._host.network.broadcast(
@@ -274,12 +281,12 @@ class PabEngine:
         if state is None or state.done:
             return
         state.acks.append(ack)
+        state.signers.add(ack.signer)
         self._maybe_complete(state)
 
     def _maybe_complete(self, state: _PushState) -> None:
         quorum = self._config.stability_quorum
-        distinct = {ack.signer for ack in state.acks}
-        if len(distinct) < quorum:
+        if len(state.signers) < quorum:
             return
         try:
             proof = make_availability_proof(

@@ -26,6 +26,7 @@ from repro.parallel.jobs import (
     RunSummary,
     execute_job,
     experiment_job,
+    netbench_job,
     scenario_job,
     worker_peak_rss_bytes,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "default_jobs",
     "execute_job",
     "experiment_job",
+    "netbench_job",
     "scenario_job",
     "sweep",
     "worker_peak_rss_bytes",

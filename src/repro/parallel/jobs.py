@@ -220,6 +220,15 @@ def experiment_job(
     )
 
 
+def netbench_job(config) -> JobSpec:
+    """Spec for one dissemination-bench cell (``repro.harness.netbench``)."""
+    return JobSpec(
+        kind="netbench",
+        payload=config.to_dict(),
+        label=config.label,
+    )
+
+
 def scenario_job(
     scenario,
     liveness_bound: Optional[float] = None,
@@ -255,6 +264,24 @@ def _run_experiment_job(payload: dict, options: dict) -> dict:
         result, timeline_bucket=options.get("timeline_bucket"),
     )
     return {"summary": summary.to_dict()}
+
+
+def _run_netbench_job(payload: dict, options: dict) -> dict:
+    from repro.harness.netbench import NetBenchConfig, run_netbench
+
+    result = run_netbench(NetBenchConfig.from_dict(payload))
+    return {
+        "netbench": {
+            "label": result.label,
+            "seed": result.seed,
+            "events_processed": result.events_processed,
+            "wall_clock_s": result.wall_clock_s,
+            "delivered": result.delivered,
+            "dropped": result.dropped,
+            "sim_seconds": result.sim_seconds,
+            "fingerprint": result.fingerprint,
+        }
+    }
 
 
 def _run_scenario_job(payload: dict, options: dict) -> dict:
@@ -302,6 +329,7 @@ def _run_selftest_job(payload: dict, options: dict) -> dict:
 
 JOB_KINDS = {
     "experiment": _run_experiment_job,
+    "netbench": _run_netbench_job,
     "scenario": _run_scenario_job,
     "selftest": _run_selftest_job,
 }

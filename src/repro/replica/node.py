@@ -70,6 +70,8 @@ class Replica:
         #: Snapshot state-transfer counters (durable executors only).
         self.snapshots_served = 0
         self.snapshots_installed = 0
+        #: kind -> bound handler method; filled lazily by :meth:`handle`.
+        self._kind_routes: dict = {}
         network.register(node_id, self.handle)
 
     def attach(
@@ -81,6 +83,7 @@ class Replica:
         self.mempool = mempool
         self.consensus = consensus
         self.executor = executor
+        self._kind_routes = {}
         if executor is not None:
             # A durable executor may already hold recovered state; resume
             # execution where its WAL/checkpoint cursor left off.
@@ -105,6 +108,10 @@ class Replica:
         """
         if self.crashed:
             return
+        if self.mempool is not None:
+            # Before the gate closes: an attached arrival stream digests
+            # the ticks that reached this replica while it was still up.
+            self.mempool.on_crash()
         self.crashed = True
         self._pre_crash_behavior = self.behavior
         self.behavior = SilentReplica()
@@ -156,15 +163,25 @@ class Replica:
             self.request_state_snapshot()
 
     def handle(self, envelope: Envelope) -> None:
-        """Network delivery: route by message-kind prefix."""
+        """Network delivery: route by message-kind prefix.
+
+        Kinds are a small fixed set of interned strings, so the prefix
+        match runs once per kind and the resolved bound method is cached
+        (``attach`` resets the cache).
+        """
         if self.crashed:
             return  # defence in depth; the network drops these already
-        if envelope.kind.startswith("ce."):
-            self.consensus.on_message(envelope)
-        elif envelope.kind.startswith("state."):
-            self.on_state_message(envelope)
-        else:
-            self.mempool.on_message(envelope)
+        kind = envelope.kind
+        route = self._kind_routes.get(kind)
+        if route is None:
+            if kind.startswith("ce."):
+                route = self.consensus.on_message
+            elif kind.startswith("state."):
+                route = self.on_state_message
+            else:
+                route = self.mempool.on_message
+            self._kind_routes[kind] = route
+        route(envelope)
 
     def on_client_batch(self, batch: TxBatch) -> None:
         """ReceiveTx entry point for the workload generator."""

@@ -22,6 +22,14 @@ the heap (cancellation stays O(1)) but the simulator compacts the heap
 automatically once cancelled entries outnumber live ones — chaos runs
 cancel view/fetch timers by the thousand, and without compaction they
 would linger until their deadline.
+
+Hot subsystems (the network's serialization/delivery chain, ingress CPU
+queues) use :meth:`Simulator.schedule_fire` instead of ``schedule``: it
+pushes a raw ``(time, seq, callback, arg)`` tuple with no ``Event`` or
+``Timer`` allocation at all. Fire-entries are not cancellable — callers
+must guard staleness themselves (epoch counters, ``done`` flags). The
+run loop tells the two entry shapes apart by tuple length; ``seq``
+uniqueness still guarantees the comparison never reaches the callback.
 """
 
 from __future__ import annotations
@@ -103,8 +111,15 @@ class Simulator(Scheduler):
     loop; callbacks must never sleep or block.
     """
 
+    __slots__ = (
+        "_queue", "_seq", "_now", "_running", "_processed",
+        "_cancelled", "_compactions",
+    )
+
     def __init__(self) -> None:
-        self._queue: list[tuple[float, int, Event]] = []
+        # Entries are (time, seq, Event) triples or raw
+        # (time, seq, callback, arg) fire-tuples; see schedule_fire.
+        self._queue: list[tuple] = []
         self._seq = 0
         self._now = 0.0
         self._running = False
@@ -154,6 +169,30 @@ class Simulator(Scheduler):
         self._seq += 1
         return Timer(event, self)
 
+    def schedule_fire(self, delay: float, callback, arg) -> None:
+        """No-allocation fast path: run ``callback(arg)`` after ``delay``.
+
+        Unlike :meth:`schedule` this returns no handle and cannot be
+        cancelled — the heap entry is a bare tuple. Intended for the
+        simulator-internal hot chains (uplink drains, deliveries,
+        ingress processing) where the callback itself checks staleness.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (self._now + delay, seq, callback, arg))
+
+    def schedule_fire_at(self, time: float, callback, arg) -> None:
+        """Absolute-time variant of :meth:`schedule_fire`."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:.6f}; now is {self._now:.6f}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time, seq, callback, arg))
+
     def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
         """Run events with ``time <= end_time``; return the number executed.
 
@@ -164,24 +203,51 @@ class Simulator(Scheduler):
             raise SimulationError("run_until called re-entrantly from a callback")
         self._running = True
         executed = 0
+        # Compaction rebuilds the queue *in place* (see drain_cancelled),
+        # so the local binding stays valid across callbacks.
         queue = self._queue
+        heappop = heapq.heappop
         try:
-            while queue and queue[0][0] <= end_time:
-                event = heapq.heappop(queue)[2]
-                if event.cancelled:
-                    self._cancelled -= 1
-                    continue
-                event.fired = True
-                self._now = event.time
-                event.callback()
-                executed += 1
-                self._processed += 1
-                # A callback may have triggered compaction, which swaps
-                # the queue list out from under us.
-                queue = self._queue
-                if max_events is not None and executed >= max_events:
-                    break
+            if max_events is None:
+                # Hot loop: no per-event limit check. The perf harness
+                # always runs here, so every instruction counts.
+                while queue and queue[0][0] <= end_time:
+                    entry = heappop(queue)
+                    if len(entry) == 4:
+                        # Raw fire-tuple: (time, seq, callback, arg).
+                        self._now = entry[0]
+                        entry[2](entry[3])
+                        executed += 1
+                    else:
+                        event = entry[2]
+                        if event.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        event.fired = True
+                        self._now = event.time
+                        event.callback()
+                        executed += 1
+            else:
+                while queue and queue[0][0] <= end_time:
+                    entry = heappop(queue)
+                    if len(entry) == 4:
+                        self._now = entry[0]
+                        entry[2](entry[3])
+                    else:
+                        event = entry[2]
+                        if event.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        event.fired = True
+                        self._now = event.time
+                        event.callback()
+                    executed += 1
+                    if executed >= max_events:
+                        break
         finally:
+            # The executed-count accumulates locally; ``processed`` is a
+            # post-run gauge, so one write per run_until call suffices.
+            self._processed += executed
             self._running = False
         if not self._queue or self._queue[0][0] > end_time:
             self._now = max(self._now, end_time)
@@ -202,8 +268,17 @@ class Simulator(Scheduler):
             self._compactions += 1
 
     def drain_cancelled(self) -> None:
-        """Drop cancelled events from the heap (memory hygiene for long runs)."""
-        live = [entry for entry in self._queue if not entry[2].cancelled]
+        """Drop cancelled events from the heap (memory hygiene for long runs).
+
+        The rebuild happens in place (slice assignment) so the list
+        object's identity is stable — ``run_until`` holds a local
+        reference to it across callbacks, and compaction runs *from*
+        callbacks.
+        """
+        live = [
+            entry for entry in self._queue
+            if len(entry) == 4 or not entry[2].cancelled
+        ]
         heapq.heapify(live)
-        self._queue = live
+        self._queue[:] = live
         self._cancelled = 0

@@ -61,7 +61,7 @@ class Envelope:
 
     __slots__ = (
         "src", "dst", "kind", "size_bytes", "payload", "channel",
-        "enqueued_at",
+        "enqueued_at", "sent_at",
     )
 
     def __init__(
@@ -81,6 +81,11 @@ class Envelope:
         self.payload = payload
         self.channel = channel
         self.enqueued_at = enqueued_at
+        # When the last byte left the sender's uplink (set by the
+        # simulated network at serialization time; 0.0 elsewhere). Used
+        # to discard copies that were still on the wire when the sender
+        # crashed.
+        self.sent_at = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -120,6 +125,10 @@ class Scheduler(abc.ABC):
     protocol code never needs locks.
     """
 
+    # Empty slots so subclasses may opt into __slots__ (the simulator
+    # does); slot-less subclasses still get a __dict__ as usual.
+    __slots__ = ()
+
     @property
     @abc.abstractmethod
     def now(self) -> float:
@@ -133,15 +142,30 @@ class Scheduler(abc.ABC):
     def schedule_at(self, time: float, callback: Callable[[], None]) -> TimerHandle:
         """Run ``callback`` at absolute time ``time``; returns a timer handle."""
 
+    def schedule_fire(self, delay: float, callback, arg) -> None:
+        """Fire-and-forget: run ``callback(arg)`` after ``delay`` seconds.
+
+        No handle is returned and the call cannot be cancelled — callers
+        must guard staleness themselves (identity checks, ``done``
+        flags). The simulator overrides this with an allocation-free
+        heap entry; the default implementation just wraps ``schedule``,
+        so protocol code may use it on any backend.
+        """
+        self.schedule(delay, lambda: callback(arg))
+
 
 class Transport(abc.ABC):
     """Message fabric connecting ``n`` replicas.
 
-    Implementations must preserve per-(src, dst) FIFO ordering for
+    Implementations should preserve per-(src, dst) FIFO ordering for
     delivered messages — protocol recovery paths (PAB body-before-proof,
-    chain sync) rely on it — but may drop messages entirely (loss,
-    crashed endpoints). Handlers are invoked synchronously on the
-    scheduler's event-loop thread.
+    chain sync) rely on it for the fast path — but may drop messages
+    entirely (loss, crashed endpoints). The simulated fair-share link
+    model relaxes FIFO across *sizes* (a small message may overtake a
+    bulk transfer to the same peer, as parallel TCP streams do); protocol
+    code must tolerate that via its recovery paths (PAB fetches a body
+    when a proof arrives first). Handlers are invoked synchronously on
+    the scheduler's event-loop thread.
     """
 
     @abc.abstractmethod

@@ -1,7 +1,9 @@
 """Simulated message-passing network with bandwidth serialization.
 
-The model is deliberately the one under which the paper's Appendix-A
-throughput formulas are exact:
+Two link models are available (``link_model`` constructor argument):
+
+**serial** (default) — the store-and-forward model under which the
+paper's Appendix-A throughput formulas are exact:
 
 * every replica owns a single egress uplink of finite bandwidth;
 * a message of ``size`` bytes occupies the sender's uplink for
@@ -11,28 +13,51 @@ throughput formulas are exact:
 * broadcasting to ``n - 1`` peers serializes ``n - 1`` copies, which is
   exactly what makes a leader shipping megabyte proposals the bottleneck.
 
+**fair-share** — concurrent transfers split link capacity instead of
+queueing behind each other (the simpy ``Container`` uplink/downlink
+technique; see DESIGN.md "Simulator scale-out"). Each active transfer
+runs at ``min(B_up / |up_active|, B_down / |down_active|)``; rates are
+recomputed only when a transfer starts or finishes, never per byte, so
+WAN contention at n=128 is modeled without event blowup. Bulk (DATA)
+transfers are admitted through a bounded slot pool per uplink;
+consensus/control transfers bypass the pool so they are never stuck
+behind a wall of microblocks.
+
+Broadcasts are *fan-out flows* in both models: ``Network.broadcast``
+enqueues a single shared-payload :class:`_Flow` per uplink and the
+serializer expands it lazily into per-recipient envelopes — one drain
+timer per uplink segment instead of one scheduled event per copy.
+
 Two egress priority classes implement the paper's "consensus channel /
 data channel" optimization (Section VI): whenever the uplink frees up,
 queued consensus messages (proposals, votes) are transmitted before
 queued data messages (microblocks, acks, fetches). An optional token
-bucket throttles the data class, reproducing the sending-rate limiter.
+bucket throttles the data class, reproducing the sending-rate limiter
+(serial model only).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from heapq import heappush as _heappush
+from typing import Callable, Optional, Union
 
 from repro.sim.engine import Simulator
 from repro.sim.interfaces import Channel, Envelope, Handler, Transport
+
+#: Allocation shortcut for the uplink's fan-out loop: mint envelopes via
+#: ``__new__`` + direct slot stores, skipping the ``__init__`` frame.
+_env_new = Envelope.__new__
 from repro.sim.rng import RngRegistry
 from repro.sim.topology import Topology, transmission_time
 
 __all__ = [
     "Channel", "Envelope", "Handler", "NetworkStats", "TokenBucket",
-    "Network",
+    "Network", "LINK_MODELS",
 ]
+
+LINK_MODELS = ("serial", "fair-share")
 
 # Queue indexes for the per-channel FIFOs below. The uplink/ingress hot
 # loops index lists with these ints instead of hashing enum members —
@@ -40,6 +65,12 @@ __all__ = [
 _CONSENSUS = Channel.CONSENSUS.value
 _CONTROL = Channel.CONTROL.value
 _DATA = Channel.DATA.value
+
+# Enum members as module constants: the delivery path maps an envelope's
+# channel to its queue index with identity compares instead of the enum
+# ``value`` descriptor (which is a measurable per-message cost).
+_DATA_MEMBER = Channel.DATA
+_CONSENSUS_MEMBER = Channel.CONSENSUS
 
 
 @dataclass
@@ -67,6 +98,30 @@ class NetworkStats:
         self.messages_sent[kind] = self.messages_sent.get(kind, 0) + 1
         self._node_totals[node] = self._node_totals.get(node, 0.0) + size_bytes
         self._kind_totals[kind] = self._kind_totals.get(kind, 0.0) + size_bytes
+
+    def record_send_batch(
+        self, node: int, kind: str, size_bytes: float, count: int
+    ) -> None:
+        """Account ``count`` same-size copies with one set of dict ops."""
+        total = size_bytes * count
+        key = (node, kind)
+        self.bytes_sent[key] = self.bytes_sent.get(key, 0.0) + total
+        self.messages_sent[kind] = self.messages_sent.get(kind, 0) + count
+        self._node_totals[node] = self._node_totals.get(node, 0.0) + total
+        self._kind_totals[kind] = self._kind_totals.get(kind, 0.0) + total
+
+    def cancel_send(self, node: int, kind: str, size_bytes: float) -> None:
+        """Un-account one copy whose serialization a crash cut short.
+
+        Flow segments account their copies when the segment starts; a
+        copy discarded because the sender crashed mid-segment never
+        actually cleared the uplink, so its bytes are handed back.
+        """
+        key = (node, kind)
+        self.bytes_sent[key] -= size_bytes
+        self.messages_sent[kind] -= 1
+        self._node_totals[node] -= size_bytes
+        self._kind_totals[kind] -= size_bytes
 
     def node_bytes(self, node: int, kind: Optional[str] = None) -> float:
         """Total bytes sent by ``node``, optionally for one message kind."""
@@ -107,30 +162,83 @@ class TokenBucket:
         self._updated = now
 
 
-class _Uplink:
-    """One replica's egress: two priority FIFOs draining into one wire.
+class _Flow:
+    """One broadcast awaiting serialization: shared payload, many dsts.
 
-    States: idle (nothing to do), transmitting (wire occupied), or waiting
-    (head-of-line data message blocked by the token bucket). A consensus
-    message arriving during a limiter wait preempts the wait — consensus
-    traffic is never throttled.
+    A flow occupies a single egress-queue slot however many recipients
+    it covers; the uplink expands it lazily, one segment of copies at a
+    time, so enqueueing a 127-recipient broadcast is O(1).
     """
+
+    __slots__ = (
+        "kind", "size_bytes", "payload", "channel", "recipients",
+        "next_index", "enqueued_at",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        size_bytes: float,
+        payload: object,
+        channel: Channel,
+        recipients,
+        enqueued_at: float,
+    ) -> None:
+        self.kind = kind
+        self.size_bytes = size_bytes
+        self.payload = payload
+        self.channel = channel
+        self.recipients = recipients  # tuple/list of dst node ids
+        self.next_index = 0
+        self.enqueued_at = enqueued_at
+
+    @property
+    def remaining(self) -> int:
+        return len(self.recipients) - self.next_index
+
+
+_QueueItem = Union[Envelope, _Flow]
+
+
+def _uplink_drain(uplink: "_Uplink") -> None:
+    """Segment-end continuation for a serial uplink (fire-path callback)."""
+    uplink.transmitting = False
+    uplink._start_next()
+
+
+class _Uplink:
+    """One replica's egress: three priority FIFOs draining into one wire.
+
+    States: idle (nothing to do), transmitting (wire occupied by the
+    current segment), or waiting (head-of-line data message blocked by
+    the token bucket). A consensus message arriving during a limiter
+    wait preempts the wait — consensus traffic is never throttled.
+
+    The serializer works in *segments*: it pops the head item, expands
+    up to ``SEGMENT_MAX_COPIES`` copies (bounded to roughly
+    ``SEGMENT_MAX_SECONDS`` of wire time so a queued consensus message
+    is never stuck long behind a bulk fan-out), schedules each copy's
+    delivery analytically, and arms exactly one drain timer at the
+    segment's end — not one event per copy.
+    """
+
+    SEGMENT_MAX_COPIES = 8
+    SEGMENT_MAX_SECONDS = 0.02
+
+    __slots__ = ("node", "network", "queues", "transmitting", "limiter",
+                 "_wait_timer")
 
     def __init__(self, node: int, network: "Network") -> None:
         self.node = node
         self.network = network
         # Indexed by Channel.value (_CONSENSUS/_CONTROL/_DATA).
-        self.queues: list[deque[Envelope]] = [deque() for _ in Channel]
+        self.queues: list[deque[_QueueItem]] = [deque() for _ in Channel]
         self.transmitting = False
         self.limiter: Optional[TokenBucket] = None
         self._wait_timer = None
 
-    def enqueue(self, envelope: Envelope) -> None:
-        index = (
-            envelope.channel.value
-            if self.network.priority_channels else _DATA
-        )
-        self.queues[index].append(envelope)
+    def enqueue(self, item: _QueueItem, index: int) -> None:
+        self.queues[index].append(item)
         if self.transmitting:
             return
         if self._wait_timer is not None:
@@ -144,12 +252,15 @@ class _Uplink:
     def flush(self) -> int:
         """Drop every queued message (the node crashed); returns the count.
 
-        An in-flight transmission cannot be recalled: its completion event
-        still fires, but :meth:`Network._propagate` discards the message
-        when the sender is down.
+        Copies of the in-flight segment cannot be recalled here: their
+        delivery events already exist, but the network discards any copy
+        whose serialization had not finished when the sender went down
+        (see ``Network._deliver_copy``).
         """
-        dropped = sum(len(queue) for queue in self.queues)
+        dropped = 0
         for queue in self.queues:
+            for item in queue:
+                dropped += 1 if type(item) is Envelope else item.remaining
             queue.clear()
         if self._wait_timer is not None:
             self._wait_timer.cancel()
@@ -161,48 +272,182 @@ class _Uplink:
             [self.queues[channel.value]] if channel is not None
             else self.queues
         )
-        return sum(env.size_bytes for queue in queues for env in queue)
+        total = 0.0
+        for queue in queues:
+            for item in queue:
+                if type(item) is Envelope:
+                    total += item.size_bytes
+                else:
+                    total += item.size_bytes * item.remaining
+        return total
 
     def _start_next(self) -> None:
         if self.transmitting:
             return
-        sim = self.network.sim
         queues = self.queues
-        envelope: Optional[Envelope] = None
         if queues[_CONSENSUS]:
-            envelope = queues[_CONSENSUS].popleft()
+            queue = queues[_CONSENSUS]
+            limited = False
         elif queues[_CONTROL]:
-            envelope = queues[_CONTROL].popleft()
+            queue = queues[_CONTROL]
+            limited = False
         elif queues[_DATA]:
-            head = queues[_DATA][0]
-            if self.limiter is not None:
-                ready = self.limiter.ready_at(sim.now, head.size_bytes)
-                if ready > sim.now:
-                    self._wait_timer = sim.schedule(
-                        ready - sim.now, self._resume
-                    )
-                    return
-                self.limiter.consume(sim.now, head.size_bytes)
-            envelope = queues[_DATA].popleft()
-        if envelope is None:
+            queue = queues[_DATA]
+            limited = self.limiter is not None
+        else:
             return
+        network = self.network
+        sim = network.sim
+        now = sim.now
+        head = queue[0]
+        if limited:
+            ready = self.limiter.ready_at(now, head.size_bytes)
+            if ready > now:
+                self._wait_timer = sim.schedule(ready - now, self._resume)
+                return
+            self.limiter.consume(now, head.size_bytes)
+        node = self.node
+        topo = network.topology
+        if topo._bandwidth_overrides or topo._bandwidth_scales or topo._schedules:
+            bandwidth = topo.bandwidth(node, now=now)
+        else:
+            bandwidth = topo._default_bandwidth
+            if bandwidth < 1.0:
+                bandwidth = 1.0
+        stats = network.stats
+        if type(head) is Envelope:
+            queue.popleft()
+            end = now + head.size_bytes * 8.0 / bandwidth
+            head.sent_at = end
+            stats.record_send(node, head.kind, head.size_bytes)
+            network._dispatch_copy(head, end)
+        else:
+            duration = head.size_bytes * 8.0 / bandwidth
+            remaining = head.remaining
+            if limited:
+                # The token bucket meters per copy; expand one at a time
+                # so each copy pays its own tokens.
+                copies = 1
+            elif duration <= 0.0:
+                copies = min(remaining, self.SEGMENT_MAX_COPIES)
+            else:
+                budget = int(self.SEGMENT_MAX_SECONDS / duration)
+                copies = min(
+                    remaining, self.SEGMENT_MAX_COPIES, max(1, budget)
+                )
+            recipients = head.recipients
+            index = head.next_index
+            end = now
+            kind = head.kind
+            size = head.size_bytes
+            payload = head.payload
+            channel = head.channel
+            enqueued_at = head.enqueued_at
+            topology = network.topology
+            if not topology._schedules and not topology._delay_overrides:
+                # Fast path: no active schedules or per-link overrides,
+                # so the delay is just base + jitter. The arithmetic
+                # replays Topology.delay + random.uniform bit for bit
+                # (uniform(a, b) is ``a + (b - a) * random()``), the
+                # envelope is minted via ``__new__`` + slot stores (no
+                # ``__init__`` frame), and the delivery events are
+                # heap-pushed directly — one Python call frame per copy
+                # instead of four. Recipients never include the sender.
+                base = topology._base_delay
+                jit = topology._jitter
+                neg = -jit
+                span = jit - neg
+                rand = network._jitter_rngs[node].random
+                deliver = network._deliver_copy
+                heap = sim._queue
+                seq = sim._seq
+                for dst in recipients[index:index + copies]:
+                    end += duration
+                    envelope = _env_new(Envelope)
+                    envelope.src = node
+                    envelope.dst = dst
+                    envelope.kind = kind
+                    envelope.size_bytes = size
+                    envelope.payload = payload
+                    envelope.channel = channel
+                    envelope.enqueued_at = enqueued_at
+                    envelope.sent_at = end
+                    if jit > 0:
+                        delay = base + (neg + span * rand())
+                        if delay < 0.0:
+                            delay = 0.0
+                    else:
+                        delay = base
+                    _heappush(heap, (end + delay, seq, deliver, envelope))
+                    seq += 1
+                sim._seq = seq
+            else:
+                dispatch = network._dispatch_copy
+                make = Envelope
+                for dst in recipients[index:index + copies]:
+                    end += duration
+                    envelope = make(
+                        node, dst, kind, size,
+                        payload, channel, enqueued_at,
+                    )
+                    envelope.sent_at = end
+                    dispatch(envelope, end)
+            head.next_index = index + copies
+            if head.next_index >= len(recipients):
+                queue.popleft()
+            stats.record_send_batch(node, kind, size, copies)
         self.transmitting = True
-        bandwidth = self.network.topology.bandwidth(self.node, now=sim.now)
-        duration = transmission_time(envelope.size_bytes, bandwidth)
-        sim.schedule(duration, lambda: self._finish(envelope))
+        seq = sim._seq
+        sim._seq = seq + 1
+        _heappush(sim._queue, (end, seq, _uplink_drain, self))
 
     def _resume(self) -> None:
         self._wait_timer = None
         self._start_next()
 
-    def _finish(self, envelope: Envelope) -> None:
-        self.network._propagate(envelope)
-        self.transmitting = False
-        self._start_next()
+
+def _ingress_finish(ingress: "_Ingress") -> None:
+    """Per-message CPU-cost continuation (fire-path callback).
+
+    Dispatch is inlined (the handler call plus its down/handler guards)
+    and the next queued message is popped directly — this function runs
+    once per delivered message, so every avoided call shows up in the
+    perf harness's events/sec gauge.
+    """
+    network = ingress.network
+    envelope = ingress.current
+    dst = envelope.dst
+    if network._down and dst in network._down:
+        # The node crashed while its CPU was mid-message; flush()
+        # cleared the queues but this in-flight message still fires.
+        network.stats.messages_dropped += 1
+    else:
+        handler = network._handler_list[dst]
+        if handler is None:
+            network.stats.messages_dropped += 1
+        else:
+            network.stats.messages_delivered += 1
+            handler(envelope)
+    queues = ingress.queues
+    if queues[0]:
+        head = queues[0].popleft()
+    elif queues[1]:
+        head = queues[1].popleft()
+    elif queues[2]:
+        head = queues[2].popleft()
+    else:
+        ingress.busy = False
+        ingress.current = None
+        return
+    ingress.current = head
+    sim = network.sim
+    seq = sim._seq
+    sim._seq = seq + 1
+    _heappush(sim._queue, (sim._now + network._proc, seq, _ingress_finish, ingress))
 
 
 class _Ingress:
-    """Receive-side processing queue: one CPU draining two priority FIFOs.
+    """Receive-side processing queue: one CPU draining priority FIFOs.
 
     Each arriving message costs ``proc_per_message`` seconds of handler
     time (signature verification and dispatch). Consensus messages are
@@ -211,21 +456,30 @@ class _Ingress:
     receive side.
     """
 
+    __slots__ = ("node", "network", "queues", "busy", "current")
+
     def __init__(self, node: int, network: "Network") -> None:
         self.node = node
         self.network = network
         # Indexed by Channel.value (_CONSENSUS/_CONTROL/_DATA).
         self.queues: list[deque[Envelope]] = [deque() for _ in Channel]
         self.busy = False
+        self.current: Optional[Envelope] = None
 
     def accept(self, envelope: Envelope) -> None:
-        index = (
-            envelope.channel.value
-            if self.network.priority_channels else _DATA
-        )
-        self.queues[index].append(envelope)
-        if not self.busy:
-            self._process_next()
+        network = self.network
+        if self.busy:
+            index = (
+                envelope.channel.value
+                if network.priority_channels else _DATA
+            )
+            self.queues[index].append(envelope)
+            return
+        # Idle CPU: start processing immediately, skipping the queue
+        # round-trip (the common case at moderate load).
+        self.busy = True
+        self.current = envelope
+        network.sim.schedule_fire(network._proc, _ingress_finish, self)
 
     def flush(self) -> int:
         """Drop every queued-but-unprocessed message (the node crashed)."""
@@ -234,22 +488,226 @@ class _Ingress:
             queue.clear()
         return dropped
 
-    def _process_next(self) -> None:
-        envelope: Optional[Envelope] = None
-        for queue in self.queues:
-            if queue:
-                envelope = queue.popleft()
-                break
-        if envelope is None:
-            return
-        self.busy = True
-        cost = self.network.topology.proc_per_message
-        self.network.sim.schedule(cost, lambda: self._finish(envelope))
 
-    def _finish(self, envelope: Envelope) -> None:
-        self.network._dispatch(envelope)
-        self.busy = False
-        self._process_next()
+class _Transfer:
+    """One active fair-share transmission (one copy, one src->dst pair)."""
+
+    __slots__ = (
+        "envelope", "remaining_bits", "rate", "updated", "finish_at",
+        "next_wake", "done",
+    )
+
+    def __init__(self, envelope: Envelope, now: float) -> None:
+        self.envelope = envelope
+        self.remaining_bits = envelope.size_bytes * 8.0
+        self.rate = 0.0
+        self.updated = now
+        self.finish_at = now
+        self.next_wake = -1.0
+        self.done = False
+
+
+def _transfer_wake(state) -> None:
+    """Finish-check for a fair-share transfer (fire-path callback).
+
+    Rates change whenever transfers start or finish, so the event that
+    was armed for the old finish time may fire early (rates dropped —
+    reschedule at the new finish) or be stale (a newer, earlier event
+    already completed the transfer — ``done`` guards that).
+    """
+    fair, transfer = state
+    if transfer.done:
+        return
+    now = fair.network.sim.now
+    if transfer.finish_at > now + 1e-12:
+        if transfer.next_wake <= now:
+            transfer.next_wake = transfer.finish_at
+            fair.network.sim.schedule_fire_at(
+                transfer.finish_at, _transfer_wake, state
+            )
+        return
+    fair._complete(transfer)
+
+
+class _FairShareLinks:
+    """Fair-share link state machine for the whole network.
+
+    Per node: an egress admission queue (three priority FIFOs, DATA
+    gated by ``slots`` concurrent transfers), a list of active outbound
+    transfers (uplink members) and active inbound transfers (downlink
+    members). A transfer's rate is
+    ``min(B_up / |up_active|, B_down / |down_active|)``, recomputed for
+    the two touched membership lists whenever a transfer starts or
+    finishes — the rate depends only on membership counts, so no
+    recomputation cascades further (the simpy Container technique from
+    SNIPPETS Snippet 1, without per-byte token events).
+    """
+
+    def __init__(self, network: "Network", slots: int) -> None:
+        if slots < 1:
+            raise ValueError(f"fair_share_slots must be >= 1, got {slots}")
+        self.network = network
+        self.slots = slots
+        n = network.topology.n
+        self.queues: list[list[deque[_QueueItem]]] = [
+            [deque() for _ in Channel] for _ in range(n)
+        ]
+        self.up_active: list[list[_Transfer]] = [[] for _ in range(n)]
+        self.down_active: list[list[_Transfer]] = [[] for _ in range(n)]
+        #: DATA transfers currently holding one of ``slots`` per uplink.
+        self.data_in_flight: list[int] = [0] * n
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, item: _QueueItem, src: int, index: int) -> None:
+        self.queues[src][index].append(item)
+        self._admit(src)
+
+    def _admit(self, src: int) -> None:
+        """Start as many queued transfers as admission rules allow."""
+        queues = self.queues[src]
+        network = self.network
+        now = network.sim.now
+        started: list[_Transfer] = []
+        while True:
+            if queues[_CONSENSUS]:
+                queue = queues[_CONSENSUS]
+            elif queues[_CONTROL]:
+                queue = queues[_CONTROL]
+            elif queues[_DATA] and self.data_in_flight[src] < self.slots:
+                queue = queues[_DATA]
+                self.data_in_flight[src] += 1
+            else:
+                break
+            head = queue[0]
+            if type(head) is Envelope:
+                queue.popleft()
+                envelope = head
+            else:
+                envelope = Envelope(
+                    src, head.recipients[head.next_index], head.kind,
+                    head.size_bytes, head.payload, head.channel,
+                    head.enqueued_at,
+                )
+                head.next_index += 1
+                if head.next_index >= len(head.recipients):
+                    queue.popleft()
+            network.stats.record_send(src, envelope.kind, envelope.size_bytes)
+            transfer = _Transfer(envelope, now)
+            self.up_active[src].append(transfer)
+            self.down_active[envelope.dst].append(transfer)
+            started.append(transfer)
+        for transfer in started:
+            self._rebalance(transfer.envelope.src, transfer.envelope.dst)
+
+    # -- rate bookkeeping ----------------------------------------------
+
+    def _rebalance(self, src: int, dst: int) -> None:
+        """Settle and re-rate every transfer on the touched links."""
+        topology = self.network.topology
+        now = self.network.sim.now
+        up = self.up_active
+        down = self.down_active
+        seen_src = {src}
+        for transfer in up[src]:
+            self._re_rate(transfer, topology, now, up, down)
+        for transfer in down[dst]:
+            if transfer.envelope.src not in seen_src:
+                self._re_rate(transfer, topology, now, up, down)
+
+    def _re_rate(self, transfer, topology, now, up, down) -> None:
+        elapsed = now - transfer.updated
+        if elapsed > 0.0:
+            transfer.remaining_bits -= transfer.rate * elapsed
+            if transfer.remaining_bits < 0.0:
+                transfer.remaining_bits = 0.0
+        transfer.updated = now
+        envelope = transfer.envelope
+        src, dst = envelope.src, envelope.dst
+        rate = min(
+            topology.bandwidth(src, now=now) / len(up[src]),
+            topology.bandwidth(dst, now=now) / len(down[dst]),
+        )
+        transfer.rate = rate
+        finish = now + transfer.remaining_bits / rate if rate > 0 else now
+        transfer.finish_at = finish
+        if transfer.next_wake < now or finish < transfer.next_wake - 1e-12:
+            transfer.next_wake = finish
+            self.network.sim.schedule_fire_at(
+                finish, _transfer_wake, (self, transfer)
+            )
+
+    # -- completion / teardown -----------------------------------------
+
+    def _complete(self, transfer: _Transfer) -> None:
+        transfer.done = True
+        envelope = transfer.envelope
+        src, dst = envelope.src, envelope.dst
+        self.up_active[src].remove(transfer)
+        self.down_active[dst].remove(transfer)
+        if envelope.channel is Channel.DATA or not self.network.priority_channels:
+            self.data_in_flight[src] -= 1
+        envelope.sent_at = self.network.sim.now
+        self.network._dispatch_copy(envelope, self.network.sim.now)
+        self._admit(src)
+        self._rebalance(src, dst)
+
+    def flush(self, node: int) -> int:
+        """Crash teardown: clear the node's queues, kill its transfers."""
+        dropped = 0
+        for queue in self.queues[node]:
+            for item in queue:
+                dropped += 1 if type(item) is Envelope else item.remaining
+            queue.clear()
+        touched: list[tuple[int, int]] = []
+        for transfer in list(self.up_active[node]):
+            dropped += 1
+            self._kill(transfer)
+            touched.append((transfer.envelope.src, transfer.envelope.dst))
+        for transfer in list(self.down_active[node]):
+            dropped += 1
+            self._kill(transfer)
+            touched.append((transfer.envelope.src, transfer.envelope.dst))
+        for src, dst in touched:
+            self._admit(src)
+            self._rebalance(src, dst)
+        return dropped
+
+    def _kill(self, transfer: _Transfer) -> None:
+        transfer.done = True
+        envelope = transfer.envelope
+        self.up_active[envelope.src].remove(transfer)
+        self.down_active[envelope.dst].remove(transfer)
+        if (
+            envelope.channel is Channel.DATA
+            or not self.network.priority_channels
+        ):
+            self.data_in_flight[envelope.src] -= 1
+        self.network.stats.cancel_send(
+            envelope.src, envelope.kind, envelope.size_bytes
+        )
+
+    def queued_bytes(self, node: int, channel: Optional[Channel]) -> float:
+        queues = (
+            [self.queues[node][channel.value]] if channel is not None
+            else self.queues[node]
+        )
+        total = 0.0
+        for queue in queues:
+            for item in queue:
+                if type(item) is Envelope:
+                    total += item.size_bytes
+                else:
+                    total += item.size_bytes * item.remaining
+        now = self.network.sim.now
+        for transfer in self.up_active[node]:
+            if channel is None or transfer.envelope.channel is channel:
+                remaining = (
+                    transfer.remaining_bits
+                    - transfer.rate * (now - transfer.updated)
+                )
+                total += max(0.0, remaining) / 8.0
+        return total
 
 
 DropFilter = Callable[[Envelope], bool]
@@ -264,21 +722,54 @@ class Network(Transport):
         topology: Topology,
         rng: RngRegistry,
         priority_channels: bool = True,
+        link_model: str = "serial",
+        fair_share_slots: int = 8,
     ) -> None:
+        if link_model not in LINK_MODELS:
+            raise ValueError(
+                f"link_model must be one of {LINK_MODELS}, got {link_model!r}"
+            )
         self.sim = sim
         self.topology = topology
         #: When False, every message shares one FIFO class — ablates the
         #: paper's "consensus channel first" optimization (Section VI).
         self.priority_channels = priority_channels
+        self.link_model = link_model
         self.stats = NetworkStats()
-        self._rng = rng.stream("network.jitter")
+        # One jitter stream per sender: a flow expansion draws delays
+        # for its copies from its own src's stream, so concurrent
+        # uplinks never interleave on a shared RNG (required for the
+        # aggregate-workload mode to be tick-mode equivalent).
+        self._jitter_rngs = [
+            rng.stream(f"network.jitter.{node}")
+            for node in range(topology.n)
+        ]
         self._handlers: dict[int, Handler] = {}
-        self._uplinks = [_Uplink(node, self) for node in range(topology.n)]
+        #: Handler lookup indexed by node id — the delivery chain indexes
+        #: this list instead of hashing into the dict.
+        self._handler_list: list[Optional[Handler]] = [None] * topology.n
+        #: Receive-side CPU cost, cached off the topology (immutable).
+        self._proc = topology.proc_per_message
+        #: True iff a drop filter or at least one drop rule is installed;
+        #: lets the delivery fast path skip ``_should_drop`` entirely.
+        self._filters_active = False
+        self._fair: Optional[_FairShareLinks] = None
+        self._uplinks: list[_Uplink] = []
+        if link_model == "fair-share":
+            self._fair = _FairShareLinks(self, fair_share_slots)
+        else:
+            self._uplinks = [_Uplink(node, self) for node in range(topology.n)]
         self._ingress = [_Ingress(node, self) for node in range(topology.n)]
         self._drop_filter: Optional[DropFilter] = None
         self._drop_rules: dict[int, DropFilter] = {}
         self._rule_seq = 0
         self._down: set[int] = set()
+        #: now of each node's most recent crash-flush (-1.0 = never);
+        #: used to discard in-flight copies the crash cut short.
+        self._flush_at = [-1.0] * topology.n
+        #: Per-src default broadcast recipient tuples, built lazily once
+        #: all nodes are registered (invalidated by ``register``).
+        self._default_recipients: list[Optional[tuple]] = [None] * topology.n
 
     # -- wiring ------------------------------------------------------------
 
@@ -287,6 +778,8 @@ class Network(Transport):
         if node in self._handlers:
             raise ValueError(f"node {node} already registered")
         self._handlers[node] = handler
+        self._handler_list[node] = handler
+        self._default_recipients = [None] * self.topology.n
 
     def set_drop_filter(self, drop_filter: Optional[DropFilter]) -> None:
         """Install a predicate that silently drops matching envelopes.
@@ -296,6 +789,9 @@ class Network(Transport):
         matches a real network where loss wastes the sender's uplink.
         """
         self._drop_filter = drop_filter
+        self._filters_active = (
+            drop_filter is not None or bool(self._drop_rules)
+        )
 
     def add_drop_rule(self, rule: DropFilter) -> int:
         """Install an *additional* drop predicate; returns a removal handle.
@@ -308,11 +804,15 @@ class Network(Transport):
         rule_id = self._rule_seq
         self._rule_seq += 1
         self._drop_rules[rule_id] = rule
+        self._filters_active = True
         return rule_id
 
     def remove_drop_rule(self, rule_id: int) -> None:
         """Remove a rule installed by :meth:`add_drop_rule` (idempotent)."""
         self._drop_rules.pop(rule_id, None)
+        self._filters_active = (
+            self._drop_filter is not None or bool(self._drop_rules)
+        )
 
     def set_node_down(self, node: int) -> None:
         """Crash ``node``'s network endpoint.
@@ -324,7 +824,12 @@ class Network(Transport):
         if node in self._down:
             return
         self._down.add(node)
-        flushed = self._uplinks[node].flush() + self._ingress[node].flush()
+        self._flush_at[node] = self.sim.now
+        if self._fair is not None:
+            flushed = self._fair.flush(node)
+        else:
+            flushed = self._uplinks[node].flush()
+        flushed += self._ingress[node].flush()
         self.stats.messages_dropped += flushed
 
     def set_node_up(self, node: int) -> None:
@@ -338,6 +843,11 @@ class Network(Transport):
         self, node: int, rate_bytes_per_s: float, burst_bytes: float
     ) -> None:
         """Enable the token-bucket limiter on ``node``'s data channel."""
+        if self._fair is not None:
+            raise ValueError(
+                "the data limiter requires link_model='serial' "
+                "(fair-share links model contention directly)"
+            )
         self._uplinks[node].limiter = TokenBucket(rate_bytes_per_s, burst_bytes)
 
     # -- sending -----------------------------------------------------------
@@ -358,16 +868,21 @@ class Network(Transport):
             self.stats.messages_dropped += 1
             return
         if dst == src:
-            # Loopback: no bandwidth cost, delivered on the next event.
+            # Loopback: no bandwidth cost, delivered on the next event
+            # via a shared callback (no per-message closure).
             envelope = Envelope(src, dst, kind, 0.0, payload, channel, self.sim.now)
-            self.sim.schedule(0.0, lambda: self._deliver(envelope))
+            self.sim.schedule_fire(0.0, self._deliver, envelope)
             return
         if src not in self._handlers or dst not in self._handlers:
             raise ValueError(f"send between unregistered nodes {src}->{dst}")
         envelope = Envelope(
             src, dst, kind, size_bytes, payload, channel, self.sim.now
         )
-        self._uplinks[src].enqueue(envelope)
+        index = channel.value if self.priority_channels else _DATA
+        if self._fair is not None:
+            self._fair.submit(envelope, src, index)
+        else:
+            self._uplinks[src].enqueue(envelope, index)
 
     def broadcast(
         self,
@@ -382,52 +897,178 @@ class Network(Transport):
         """Send one copy per recipient (defaults to every other replica).
 
         Each copy is serialized separately through the sender's uplink —
-        there is no link-layer multicast, mirroring TCP fan-out.
+        there is no link-layer multicast, mirroring TCP fan-out — but the
+        whole fan-out occupies one egress-queue slot (a :class:`_Flow`)
+        that the serializer expands lazily.
         """
-        if recipients is None:
-            recipients = [
-                node for node in range(self.topology.n) if node != src
-            ]
-        for dst in recipients:
-            if dst == src and not include_self:
-                continue
-            self.send(src, dst, kind, size_bytes, payload, channel)
-        if include_self and src not in recipients:
+        if src in self._down:
+            count = (
+                len(recipients) if recipients is not None
+                else self.topology.n - 1
+            )
+            self.stats.messages_dropped += count + (
+                1 if include_self and src not in (recipients or ()) else 0
+            )
+            return
+        if include_self:
             self.send(src, src, kind, size_bytes, payload, channel)
+        if recipients is None:
+            targets = self._default_recipients[src]
+            if targets is None:
+                targets = self._build_default_recipients(src)
+        else:
+            handlers = self._handlers
+            for dst in recipients:
+                if dst != src and dst not in handlers:
+                    raise ValueError(
+                        f"send between unregistered nodes {src}->{dst}"
+                    )
+            targets = [dst for dst in recipients if dst != src]
+        if self._down:
+            live = [dst for dst in targets if dst not in self._down]
+            self.stats.messages_dropped += len(targets) - len(live)
+            targets = live
+        if not targets:
+            return
+        index = channel.value if self.priority_channels else _DATA
+        if len(targets) == 1:
+            envelope = Envelope(
+                src, targets[0], kind, size_bytes, payload, channel,
+                self.sim.now,
+            )
+            if self._fair is not None:
+                self._fair.submit(envelope, src, index)
+            else:
+                self._uplinks[src].enqueue(envelope, index)
+            return
+        flow = _Flow(kind, size_bytes, payload, channel, targets, self.sim.now)
+        if self._fair is not None:
+            self._fair.submit(flow, src, index)
+        else:
+            self._uplinks[src].enqueue(flow, index)
+
+    def _build_default_recipients(self, src: int) -> tuple:
+        if src not in self._handlers:
+            raise ValueError(f"broadcast from unregistered node {src}")
+        handlers = self._handlers
+        targets = tuple(
+            node for node in range(self.topology.n)
+            if node != src and node in handlers
+        )
+        missing = self.topology.n - 1 - len(targets)
+        if missing:
+            raise ValueError(
+                f"broadcast from {src} with {missing} unregistered nodes"
+            )
+        self._default_recipients[src] = targets
+        return targets
 
     def queued_bytes(self, node: int, channel: Optional[Channel] = None) -> float:
         """Bytes currently waiting in ``node``'s egress queues."""
+        if self._fair is not None:
+            return self._fair.queued_bytes(node, channel)
         return self._uplinks[node].queued_bytes(channel)
 
     # -- internal ----------------------------------------------------------
 
-    def _propagate(self, envelope: Envelope) -> None:
-        if envelope.src in self._down:
-            # The sender crashed mid-transmission: the copy never left.
-            self.stats.messages_dropped += 1
-            return
-        # Bandwidth accounting happens here — after serialization — so
-        # reported Mbps reflects bytes actually pushed through the uplink,
-        # not bytes sitting in a backlog.
-        self.stats.record_send(envelope.src, envelope.kind, envelope.size_bytes)
-        delay = self.topology.delay(
-            envelope.src, envelope.dst, self.sim.now, self._rng
+    def _dispatch_copy(self, envelope: Envelope, leave_time: float) -> None:
+        """Schedule one serialized copy's propagation + delivery.
+
+        Called by the uplink at segment-expansion time: the copy leaves
+        the wire at ``leave_time`` and arrives one propagation delay
+        later. Bandwidth/stats accounting already happened at the
+        segment level. (The serial uplink's fan-out loop inlines the
+        simple-topology case of this function.)
+        """
+        topology = self.topology
+        src = envelope.src
+        if not topology._schedules and not topology._delay_overrides:
+            # Fast path: identical float expressions to Topology.delay
+            # for a schedule-free, override-free topology (src != dst is
+            # guaranteed — loopback never reaches the uplink).
+            delay = topology._base_delay
+            jit = topology._jitter
+            if jit > 0:
+                delay = max(
+                    0.0, delay + self._jitter_rngs[src].uniform(-jit, jit)
+                )
+        else:
+            delay = topology.delay(
+                src, envelope.dst, self.sim.now, self._jitter_rngs[src]
+            )
+        self.sim.schedule_fire_at(
+            leave_time + delay, self._deliver_copy, envelope
         )
-        self.sim.schedule(delay, lambda: self._deliver(envelope))
 
     def _should_drop(self, envelope: Envelope) -> bool:
         if self._drop_filter is not None and self._drop_filter(envelope):
             return True
         return any(rule(envelope) for rule in self._drop_rules.values())
 
+    def _deliver_copy(self, envelope: Envelope) -> None:
+        """Arrival of one serialized copy (fire-path callback).
+
+        The per-message delivery guards (_deliver) and the idle-ingress
+        hand-off are inlined: this plus ``_ingress_finish`` make up two
+        of the roughly two events every simulated message costs.
+        """
+        flush_at = self._flush_at[envelope.src]
+        if envelope.enqueued_at <= flush_at < envelope.sent_at:
+            # The sender crashed while this copy was still being
+            # serialized: it never fully left, so its bytes are
+            # un-accounted and the copy is dropped.
+            self.stats.cancel_send(
+                envelope.src, envelope.kind, envelope.size_bytes
+            )
+            self.stats.messages_dropped += 1
+            return
+        dst = envelope.dst
+        if self._down or self._filters_active:
+            if dst in self._down or self._should_drop(envelope):
+                self.stats.messages_dropped += 1
+                return
+        handler = self._handler_list[dst]
+        if handler is None:
+            self.stats.messages_dropped += 1
+            return
+        if self._proc > 0:
+            # src != dst here (loopback bypasses the wire entirely).
+            ingress = self._ingress[dst]
+            if ingress.busy:
+                if self.priority_channels:
+                    ch = envelope.channel
+                    index = (
+                        _DATA if ch is _DATA_MEMBER
+                        else _CONSENSUS if ch is _CONSENSUS_MEMBER
+                        else _CONTROL
+                    )
+                else:
+                    index = _DATA
+                ingress.queues[index].append(envelope)
+            else:
+                ingress.busy = True
+                ingress.current = envelope
+                sim = self.sim
+                seq = sim._seq
+                sim._seq = seq + 1
+                _heappush(
+                    sim._queue,
+                    (sim._now + self._proc, seq, _ingress_finish, ingress),
+                )
+        else:
+            self.stats.messages_delivered += 1
+            handler(envelope)
+
     def _deliver(self, envelope: Envelope) -> None:
-        if envelope.dst in self._down or self._should_drop(envelope):
+        if envelope.dst in self._down or (
+            self._filters_active and self._should_drop(envelope)
+        ):
             self.stats.messages_dropped += 1
             return
         if envelope.dst not in self._handlers:
             self.stats.messages_dropped += 1
             return
-        if self.topology.proc_per_message > 0 and envelope.src != envelope.dst:
+        if self._proc > 0 and envelope.src != envelope.dst:
             self._ingress[envelope.dst].accept(envelope)
         else:
             self._dispatch(envelope)

@@ -44,22 +44,41 @@ class PayloadEntry:
 
 @dataclass
 class Payload:
-    """Proposal payload: referenced entries and/or embedded microblocks."""
+    """Proposal payload: referenced entries and/or embedded microblocks.
+
+    ``entries``/``embedded`` are never mutated after construction (code
+    that needs a different payload builds a new one), so the derived
+    ``size_bytes`` and ``microblock_ids`` are computed once and cached —
+    both are re-read by every receiver of the proposal.
+    """
 
     entries: tuple[PayloadEntry, ...] = ()
     embedded: tuple[MicroBlock, ...] = ()
 
+    # Lazy caches (plain class attributes, not dataclass fields).
+    _size_cache = None
+    _ids_cache = None
+
     @property
     def size_bytes(self) -> int:
-        referenced = sum(entry.size_bytes for entry in self.entries)
-        full = sum(mb.size_bytes for mb in self.embedded)
-        return referenced + full
+        size = self._size_cache
+        if size is None:
+            referenced = sum(entry.size_bytes for entry in self.entries)
+            full = sum(mb.size_bytes for mb in self.embedded)
+            size = referenced + full
+            self._size_cache = size
+        return size
 
     @property
     def microblock_ids(self) -> tuple[MicroBlockId, ...]:
-        if self.embedded:
-            return tuple(mb.id for mb in self.embedded)
-        return tuple(entry.mb_id for entry in self.entries)
+        ids = self._ids_cache
+        if ids is None:
+            if self.embedded:
+                ids = tuple(mb.id for mb in self.embedded)
+            else:
+                ids = tuple(entry.mb_id for entry in self.entries)
+            self._ids_cache = ids
+        return ids
 
     @property
     def is_empty(self) -> bool:

@@ -162,7 +162,9 @@ MUTANTS: dict[str, Mutant] = {
             expected_oracle="safety",
             consensus_cls=EagerCommitHotStuff,
             scenario=_scenario(
-                seed=30,
+                # Seed re-tuned when the network moved to per-sender
+                # jitter streams (the fork window is schedule-sensitive).
+                seed=15,
                 mempool="native",
                 n=7,
                 duration=5.5,

@@ -17,10 +17,11 @@ from repro.metrics import MetricsHub  # noqa: E402
 from repro.sim.engine import Simulator  # noqa: E402
 
 
-def test_standard_suite_has_the_three_scenarios():
+def test_standard_suite_scenarios():
     names = [scenario.name for scenario in scenarios.get_scenarios()]
     assert names == [
         "stratus-hotstuff", "simple-smp", "chaos-crash-partition",
+        "disseminate-128", "stratus-hotstuff-128",
     ]
 
 
@@ -33,12 +34,27 @@ def test_scenario_filter_and_unknown_name():
 
 def test_scenario_configs_build():
     for scenario in scenarios.get_scenarios():
+        if scenario.kind == "netbench":
+            continue
         config = scenario.build_config()
         assert config.protocol.n == scenario.n
         assert config.seed == scenario.seed
         assert config.label == scenario.name
     chaos = scenarios.get_scenarios(["chaos-crash-partition"])[0]
     assert chaos.build_config().faults is not None
+
+
+def test_netbench_scenario_builds_and_scales():
+    scenario = scenarios.get_scenarios(["disseminate-128"])[0]
+    assert scenario.kind == "netbench"
+    config = scenario.build_netbench()
+    assert config.n == 128
+    assert config.rate_per_node == scenario.rate_tps
+    assert config.label == "disseminate-128"
+    quick = scenario.build_netbench(scale=0.1)
+    # Quick runs shrink the window but keep a floor so the storm still
+    # reaches steady state.
+    assert quick.duration == pytest.approx(max(0.25, scenario.duration * 0.1))
 
 
 def test_quick_scale_shrinks_duration_only():
@@ -71,6 +87,39 @@ def test_subsystem_rollup_maps_repro_paths():
     key = ("/x/src/repro/cli.py", 1, "run_cli")
     assert run_perf._subsystem_of(key) == "repro.cli"
     assert run_perf._subsystem_of(("/usr/lib/heapq.py", 1, "heappush")) is None
+
+
+def test_netbench_run_is_deterministic():
+    from repro.harness import NetBenchConfig, run_netbench
+
+    config = NetBenchConfig(n=8, rate_per_node=50.0, duration=0.3, seed=11)
+    first = run_netbench(config)
+    second = run_netbench(config)
+    assert first.delivered > 0
+    assert first.events_processed > 0
+    assert first.fingerprint == second.fingerprint
+    assert first.delivered == second.delivered
+    # The fingerprint is sensitive to the workload, not just the seed.
+    other = run_netbench(
+        NetBenchConfig(n=8, rate_per_node=60.0, duration=0.3, seed=11)
+    )
+    assert other.fingerprint != first.fingerprint
+
+
+def test_netbench_job_round_trips_through_executor():
+    from repro.harness import NetBenchConfig
+    from repro.parallel import netbench_job
+    from repro.parallel.jobs import execute_job
+
+    config = NetBenchConfig(n=4, rate_per_node=40.0, duration=0.3, seed=3,
+                            label="nb-test")
+    spec = netbench_job(config)
+    assert spec.kind == "netbench"
+    value = execute_job(spec.to_dict())
+    bench = value["netbench"]
+    assert bench["label"] == "nb-test"
+    assert bench["delivered"] > 0
+    assert len(bench["fingerprint"]) == 64
 
 
 def test_quick_smoke_run_writes_report(tmp_path):

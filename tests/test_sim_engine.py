@@ -253,3 +253,25 @@ def test_drain_cancelled_resets_cancel_accounting():
     sim.drain_cancelled()
     assert sim.pending == 5
     assert sim.cancelled_pending == 0
+
+
+def test_hot_path_classes_have_no_dict():
+    """Hot-path objects are __slots__-only: no per-instance __dict__.
+
+    An accidental __dict__ (a forgotten __slots__ on a new base class,
+    or an attribute assigned outside the slots) costs ~100 bytes and a
+    dict allocation per instance, which at millions of envelopes/events
+    per run dominates memory. Instantiating isn't needed — a class whose
+    full MRO declares __slots__ never grows a __dict__ descriptor.
+    """
+    from repro.mempool.fetching import _PendingFetch
+    from repro.mempool.stratus.pab import _PushState
+    from repro.sim.engine import Event, Timer
+    from repro.sim.interfaces import Envelope
+    from repro.sim.network import _Flow, _Ingress, _Transfer, _Uplink
+
+    hot = [Simulator, Event, Timer, Envelope,
+           _Flow, _Uplink, _Ingress, _Transfer,
+           _PendingFetch, _PushState]
+    offenders = [cls.__name__ for cls in hot if "__dict__" in dir(cls)]
+    assert offenders == [], f"classes grew a __dict__: {offenders}"
