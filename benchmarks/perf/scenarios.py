@@ -120,6 +120,15 @@ SCENARIOS: tuple[PerfScenario, ...] = (
         preset="none", n=128, rate_tps=100.0, duration=1.0,
         kind="netbench", seed=7,
     ),
+    # WAN contention under fair-share links: every transfer splits the
+    # 100 Mb/s uplinks/downlinks, and retransmission timers must ride
+    # the adaptive (RTT/backlog-aware) backoff instead of the old fixed
+    # 0.3 s — a fixed timer here re-pushes bodies that are merely slow.
+    PerfScenario(
+        name="stratus-wan-fair-share",
+        preset="S-HS", n=16, rate_tps=10_000.0, duration=3.0,
+        topology="wan", link_model="fair-share", seed=3,
+    ),
     # Fig. 6's far edge: Stratus/HotStuff at n=128 with one million
     # offered clients, arrivals generated in aggregate (flow-level)
     # mode so the client population costs O(ticks), not O(tx).

@@ -50,6 +50,7 @@ import pstats
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.config import MEMPOOL_KINDS, ShardingConfig
 from repro.faults import FaultSchedule
 from repro.harness import (
     CHAOS_PRESET_NAMES,
@@ -179,6 +180,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--n", nargs="+", type=int, default=[16],
                         help="network size(s)")
+    parser.add_argument("--mempool", choices=MEMPOOL_KINDS, default=None,
+                        help="override the preset's mempool (e.g. "
+                             "sharded-stratus)")
+    parser.add_argument("--shards", type=int, default=None, metavar="S",
+                        help="shard count for the sharded-stratus "
+                             "mempool (implies --mempool sharded-stratus "
+                             "when no mempool is given)")
     parser.add_argument("--topology", choices=["lan", "wan", "geo"],
                         default="lan")
     parser.add_argument("--rate", type=float, default=20_000.0,
@@ -342,6 +350,8 @@ def build_live_parser() -> argparse.ArgumentParser:
                         default="hotstuff", help="consensus engine")
     parser.add_argument("--mempool", choices=MEMPOOL_KINDS,
                         default="stratus")
+    parser.add_argument("--shards", type=int, default=None, metavar="S",
+                        help="shard count for --mempool sharded-stratus")
     parser.add_argument("-n", type=int, default=4, help="replica count")
     parser.add_argument("--duration", type=float, default=10.0,
                         help="measurement window, seconds of wall clock")
@@ -382,6 +392,8 @@ def run_live_cmd(argv: Sequence[str]) -> int:
     if args.view_timeout is not None:
         overrides["view_timeout"] = args.view_timeout
         overrides["streamlet_epoch"] = args.view_timeout
+    if args.shards is not None:
+        overrides["sharding"] = ShardingConfig(shards=args.shards)
     protocol = ProtocolConfig(
         n=args.n, mempool=args.mempool, consensus=args.protocol, **overrides
     )
@@ -494,9 +506,15 @@ def run_cli(argv: Optional[Sequence[str]] = None) -> int:
     if argv and argv[0] == "live":
         return run_live_cmd(argv[1:])
     args = build_parser().parse_args(argv)
+    mempool_override = args.mempool
+    if args.shards is not None and mempool_override is None:
+        mempool_override = "sharded-stratus"
     overrides = {
         key: value
         for key, value in (
+            ("mempool", mempool_override),
+            ("sharding", ShardingConfig(shards=args.shards)
+             if args.shards is not None else None),
             ("batch_bytes", args.batch_bytes),
             ("batch_timeout", args.batch_timeout),
             ("pab_quorum", args.pab_quorum),

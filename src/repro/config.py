@@ -13,8 +13,55 @@ import dataclasses
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-MEMPOOL_KINDS = ("native", "simple", "gossip", "narwhal", "stratus")
+MEMPOOL_KINDS = (
+    "native", "simple", "gossip", "narwhal", "stratus", "sharded-stratus",
+)
 CONSENSUS_KINDS = ("hotstuff", "twochain", "streamlet", "pbft")
+
+
+@dataclass(frozen=True)
+class ShardingConfig:
+    """Shard layout for the sharded shared mempool (``sharded-stratus``).
+
+    Deliberately tiny and value-like: the derived structure (membership
+    orbits, per-shard quorums) lives in
+    :class:`repro.sharding.map.ShardMap`, so a rebalance is "build a new
+    map from a bumped ``epoch``" rather than a mutation.
+
+    * ``shards`` — number of availability shards the microblock space is
+      partitioned into. ``1`` degenerates to unsharded dissemination
+      (every replica in one shard) while keeping certificate-only
+      consensus ordering.
+    * ``shard_size`` — replicas per shard membership. ``None`` derives
+      ``min(n, max(4, ceil(n / shards)))``: large enough that every
+      shard tolerates at least one fault whenever ``n >= 4``, and the
+      memberships jointly cover all replicas.
+    * ``epoch`` — rebalance generation. Bumping it rotates every
+      membership deterministically (``(node + epoch) mod n``), the hook
+      a reconfiguration protocol would drive; all replicas must agree on
+      the epoch, exactly like they agree on ``n``.
+    """
+
+    shards: int = 2
+    shard_size: Optional[int] = None
+    epoch: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.shard_size is not None and self.shard_size < 1:
+            raise ValueError(
+                f"shard_size must be >= 1, got {self.shard_size}"
+            )
+        if self.epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {self.epoch}")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardingConfig":
+        return cls(**data)
 
 
 @dataclass
@@ -87,12 +134,26 @@ class ProtocolConfig:
     # their background fills; 0 disables GC entirely.
     gc_retention: float = 30.0
 
+    # -- sharding (sharded-stratus only) -------------------------------------
+    # None means "use ShardingConfig()'s defaults" when the mempool is
+    # sharded; ignored by every other mempool kind.
+    sharding: Optional[ShardingConfig] = None
+
     # -- fault model -------------------------------------------------------
     byzantine: frozenset[int] = field(default_factory=frozenset)
 
     def __post_init__(self) -> None:
         if self.n < 4:
             raise ValueError(f"BFT needs n >= 4, got n={self.n}")
+        if isinstance(self.sharding, dict):
+            # from_dict / **overrides convenience: accept the plain-dict
+            # form and normalize it.
+            self.sharding = ShardingConfig.from_dict(self.sharding)
+        if self.sharding is not None and self.sharding.shards > self.n:
+            raise ValueError(
+                f"cannot split {self.n} replicas into "
+                f"{self.sharding.shards} shards"
+            )
         if self.mempool not in MEMPOOL_KINDS:
             raise ValueError(
                 f"unknown mempool {self.mempool!r}; choose from {MEMPOOL_KINDS}"

@@ -31,6 +31,7 @@ PROTOCOL_PRESETS: dict[str, tuple[str, str]] = {
     "Narwhal": ("narwhal", "hotstuff"),
     "S-HS": ("stratus", "hotstuff"),
     "S-SL": ("stratus", "streamlet"),
+    "SS-HS": ("sharded-stratus", "hotstuff"),
     "S-HS2": ("stratus", "twochain"),
     "N-HS2": ("native", "twochain"),
     "PBFT": ("native", "pbft"),

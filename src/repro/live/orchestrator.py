@@ -301,7 +301,7 @@ def _merge(
             commit_time=commit["commit_time"],
         )
 
-    violations = verify_events(events, emitted_tx)
+    violations = verify_events(events, emitted_tx, config.protocol)
 
     fault_report: list[dict] = []
     if schedule is not None:

@@ -34,25 +34,30 @@ class _LiveSuite:
     offending event.
     """
 
-    def __init__(self, emitted_tx: int) -> None:
+    def __init__(self, emitted_tx: int, protocol=None) -> None:
         self.violations: list[Violation] = []
         self.now = 0.0
         self.experiment = SimpleNamespace(
-            generator=SimpleNamespace(emitted_tx_count=emitted_tx)
+            generator=SimpleNamespace(emitted_tx_count=emitted_tx),
+            config=SimpleNamespace(protocol=protocol),
         )
 
     def record(self, violation: Violation) -> None:
         self.violations.append(violation)
 
 
-def verify_events(events: list[dict], emitted_tx: int) -> list[Violation]:
+def verify_events(
+    events: list[dict], emitted_tx: int, protocol=None
+) -> list[Violation]:
     """Run the safety and SMP-integrity oracles over recorded events.
 
     ``events`` is the merged per-replica record list
     (``{"t", "node", "kind", "data"}`` with wire-encoded data); returns
-    every violation found, empty meaning the live run passed.
+    every violation found, empty meaning the live run passed. Passing
+    the run's :class:`~repro.config.ProtocolConfig` arms the
+    shard-aware ledger checks for ``sharded-stratus`` runs.
     """
-    suite = _LiveSuite(emitted_tx)
+    suite = _LiveSuite(emitted_tx, protocol)
     oracles = [SafetyOracle(), LedgerOracle()]
     for oracle in oracles:
         oracle.bind(suite)

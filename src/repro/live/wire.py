@@ -52,6 +52,7 @@ from repro.crypto.certificates import QuorumCert
 from repro.crypto.proofs import AvailabilityProof
 from repro.crypto.signatures import Signature
 from repro.mempool.base import MessageKinds
+from repro.sharding.certificate import ShardCertificate
 from repro.sim.interfaces import Channel
 from repro.types.batch import TxBatch
 from repro.types.microblock import MicroBlock
@@ -97,6 +98,8 @@ WIRE_TYPES: dict[str, type] = {
         PayloadEntry,
         Payload,
         Proposal,
+        # Appended in PR 10 (sharded mempool); append-only table.
+        ShardCertificate,
     )
 }
 
@@ -134,6 +137,10 @@ MESSAGE_REGISTRY: dict[str, tuple[type, ...]] = {
     MessageKinds.STATE_SNAPSHOT_REQ: (int,),  # requester's applied height
     # (height, last_block_id, digest, tx_applied, blocks_applied, {k: v})
     MessageKinds.STATE_SNAPSHOT: (tuple,),
+    # Sharded mempool (appended in PR 10; append-only table).
+    MessageKinds.SHARD_MICROBLOCK: (MicroBlock,),
+    MessageKinds.SHARD_ACK: (Signature,),
+    MessageKinds.SHARD_CERT: (tuple,),     # (mb_id, ShardCertificate)
 }
 
 

@@ -12,7 +12,10 @@ Five mempool families back the protocols evaluated in the paper
 * :class:`~repro.mempool.narwhal.NarwhalMempool` — Bracha reliable
   broadcast, quadratic message complexity (Narwhal baseline);
 * :class:`~repro.mempool.stratus.StratusMempool` — PAB + DLB
-  (this paper's contribution).
+  (this paper's contribution);
+* :class:`~repro.mempool.sharded.ShardedStratusMempool` — per-shard PAB
+  quorums and certificate-only consensus ordering (Arma / BigDipper
+  directions; see DESIGN.md "Sharding").
 """
 
 from repro.mempool.base import Mempool, MessageKinds
@@ -20,6 +23,7 @@ from repro.mempool.native import NativeMempool, SharedPendingPool
 from repro.mempool.simple_smp import SimpleSharedMempool
 from repro.mempool.gossip_smp import GossipSharedMempool
 from repro.mempool.narwhal import NarwhalMempool
+from repro.mempool.sharded import ShardedStratusMempool
 from repro.mempool.stratus import StratusMempool
 
 MEMPOOL_CLASSES = {
@@ -28,6 +32,7 @@ MEMPOOL_CLASSES = {
     "gossip": GossipSharedMempool,
     "narwhal": NarwhalMempool,
     "stratus": StratusMempool,
+    "sharded-stratus": ShardedStratusMempool,
 }
 
 __all__ = [
@@ -38,6 +43,7 @@ __all__ = [
     "SimpleSharedMempool",
     "GossipSharedMempool",
     "NarwhalMempool",
+    "ShardedStratusMempool",
     "StratusMempool",
     "MEMPOOL_CLASSES",
 ]

@@ -58,12 +58,19 @@ class MessageKinds:
     # mempool or consensus engine); see Replica.handle.
     STATE_SNAPSHOT_REQ = "state.snap_req"
     STATE_SNAPSHOT = "state.snap"
+    # Sharded shared mempool (repro.sharding): the body push stays in the
+    # ``mb`` accounting group and the shard ack in ``pab.ack``; the
+    # certificate broadcast is its own (tiny, control-channel) group.
+    SHARD_MICROBLOCK = "mb.shard"
+    SHARD_ACK = "pab.ack.shard"
+    SHARD_CERT = "pab.cert"
 
     MICROBLOCK_KINDS = (
         MICROBLOCK,
         MICROBLOCK_GOSSIP,
         MICROBLOCK_FETCH,
         MICROBLOCK_FORWARD,
+        SHARD_MICROBLOCK,
     )
 
 

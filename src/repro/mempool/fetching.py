@@ -43,6 +43,57 @@ def backoff_delay(config: ProtocolConfig, rounds: int, rng) -> float:
     return delay
 
 
+#: Push retransmissions wait at least this multiple of the estimated
+#: stable time (the p-th percentile push->quorum interval). Acts like a
+#: TCP RTO: when the network is merely slow (congestion, delay spikes)
+#: acks are still coming, so retransmitting at the uncongested cadence
+#: would add load exactly when the network can least absorb it.
+RETRY_STABLE_TIME_FACTOR = 3.0
+
+#: ...and at least this multiple of the observed push->first-ack RTT,
+#: the earliest congestion signal available before the stable-time
+#: estimator has a window's worth of samples.
+RETRY_RTT_FACTOR = 3.0
+
+#: ...and at least this multiple of the transport's expected transfer
+#: time for the retransmission itself (serialization + current egress
+#: backlog). Retrying before the original copies even left the uplink
+#: is what makes contended fair-share scenarios snowball.
+RETRY_TRANSFER_TIME_FACTOR = 2.0
+
+
+def adaptive_retry_delay(
+    config: ProtocolConfig,
+    rounds: int,
+    host: "Replica",
+    size_bytes: float,
+    copies: int,
+    stable_estimate: float | None = None,
+    rtt_estimate: float | None = None,
+) -> float:
+    """Congestion-aware push-retransmission delay.
+
+    The exponential, jittered :func:`backoff_delay` is the base (drawn
+    first, so the RNG stream matches runs where no signal is available);
+    each available signal — stable-time percentile, push->first-ack RTT,
+    and the transport's backlog-aware transfer-time estimate — then
+    raises the floor. Signals only ever *delay* a retry: a quorum
+    cancels the timer, so an uncongested network is unaffected.
+    """
+    delay = backoff_delay(config, rounds, host.rng)
+    if stable_estimate is not None:
+        delay = max(delay, RETRY_STABLE_TIME_FACTOR * stable_estimate)
+    if rtt_estimate is not None:
+        delay = max(delay, RETRY_RTT_FACTOR * rtt_estimate)
+    if copies > 0:
+        expected = host.network.expected_transfer_seconds(
+            host.node_id, size_bytes, copies
+        )
+        if expected is not None:
+            delay = max(delay, RETRY_TRANSFER_TIME_FACTOR * expected)
+    return delay
+
+
 class _PendingFetch:
     __slots__ = ("mb_id", "targets_provider", "requested", "rounds")
 

@@ -29,7 +29,12 @@ from repro.crypto import (
     verify_availability_proof,
 )
 from repro.mempool.base import MessageKinds
-from repro.mempool.fetching import FetchManager, backoff_delay, sampled_signers
+from repro.mempool.fetching import (
+    FetchManager,
+    RETRY_STABLE_TIME_FACTOR,
+    adaptive_retry_delay,
+    sampled_signers,
+)
 from repro.mempool.store import MicroBlockStore
 from repro.sim.network import Channel, Envelope
 from repro.types import sizes
@@ -41,12 +46,10 @@ if TYPE_CHECKING:  # pragma: no cover
 OnAvailable = Callable[[MicroBlockId, AvailabilityProof], None]
 OnProof = Callable[[MicroBlockId, AvailabilityProof], None]
 
-#: Push retransmissions wait at least this multiple of the estimated
-#: stable time (the p-th percentile push->quorum interval). Acts like a
-#: TCP RTO: when the network is merely slow (congestion, delay spikes)
-#: acks are still coming, so retransmitting at the uncongested cadence
-#: would add load exactly when the network can least absorb it.
-RETRY_STABLE_TIME_FACTOR = 3.0
+#: EWMA smoothing weight for the push->first-remote-ack RTT sample.
+RTT_EWMA_ALPHA = 0.2
+
+__all__ = ["PabEngine", "RETRY_STABLE_TIME_FACTOR"]
 
 
 class _PushState:
@@ -99,6 +102,10 @@ class PabEngine:
         #: Current stable-time estimate in seconds (None = no data yet);
         #: scales the retransmission interval under congestion.
         self._retry_floor = retry_floor
+        #: EWMA of the push->first-remote-ack interval: an RTT-like
+        #: congestion signal that warms up within one push, long before
+        #: the stable-time estimator has a full window.
+        self._ack_rtt: Optional[float] = None
         self._pushes: dict[MicroBlockId, _PushState] = {}
         self._proofs: dict[MicroBlockId, AvailabilityProof] = {}
         #: Default push fan-out (everyone else), computed once.
@@ -161,11 +168,13 @@ class PabEngine:
         return len(stalled)
 
     def _arm_retry(self, state: _PushState) -> None:
-        delay = backoff_delay(self._config, state.rounds, self._host.rng)
-        if self._retry_floor is not None:
-            estimate = self._retry_floor()
-            if estimate is not None:
-                delay = max(delay, RETRY_STABLE_TIME_FACTOR * estimate)
+        stable = self._retry_floor() if self._retry_floor else None
+        pending = len(state.targets) - (len(state.signers) - 1)
+        delay = adaptive_retry_delay(
+            self._config, state.rounds, self._host,
+            state.microblock.size_bytes, max(1, pending),
+            stable_estimate=stable, rtt_estimate=self._ack_rtt,
+        )
         state.timer = self._host.sim.schedule(
             delay, lambda: self._retry_push(state)
         )
@@ -280,6 +289,13 @@ class PabEngine:
         state = self._pushes.get(ack.digest)
         if state is None or state.done:
             return
+        if len(state.signers) == 1 and state.rounds == 1:
+            # First remote ack of an un-retried push: a clean RTT sample.
+            sample = self._host.sim.now - state.started_at
+            if self._ack_rtt is None:
+                self._ack_rtt = sample
+            else:
+                self._ack_rtt += RTT_EWMA_ALPHA * (sample - self._ack_rtt)
         state.acks.append(ack)
         state.signers.add(ack.signer)
         self._maybe_complete(state)

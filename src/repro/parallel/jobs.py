@@ -70,6 +70,9 @@ class RunSummary:
     violations: list = field(default_factory=list)
     fetch_count: int = 0
     forwarded_microblocks: int = 0
+    #: Bytes serialized network-wide (``NetworkStats.total_bytes``);
+    #: benches divide by n for mean per-replica link load.
+    net_bytes_sent: float = 0.0
     peak_rss_bytes: int = 0
     fault_report: Optional[list] = None
     timeline: Optional[list] = None
@@ -137,6 +140,7 @@ class RunSummary:
             violations=[v.to_dict() for v in result.violations],
             fetch_count=metrics.fetch_count,
             forwarded_microblocks=metrics.forwarded_microblocks,
+            net_bytes_sent=result.network.stats.total_bytes(),
             peak_rss_bytes=worker_peak_rss_bytes(),
             fault_report=fault_report,
             timeline=timeline,
@@ -159,6 +163,7 @@ class RunSummary:
             "violations": list(self.violations),
             "fetch_count": self.fetch_count,
             "forwarded_microblocks": self.forwarded_microblocks,
+            "net_bytes_sent": self.net_bytes_sent,
             "peak_rss_bytes": self.peak_rss_bytes,
             "fault_report": self.fault_report,
             "timeline": self.timeline,
@@ -207,11 +212,19 @@ class JobSpec:
 def experiment_job(
     config: ExperimentConfig,
     timeline_bucket: Optional[float] = None,
+    oracles: bool = False,
 ) -> JobSpec:
-    """Spec for one harness experiment (sweep cell, replicated seed...)."""
+    """Spec for one harness experiment (sweep cell, replicated seed...).
+
+    With ``oracles=True`` the worker arms the standard invariant suite
+    and the summary's ``violations`` list carries whatever it found —
+    how the sharding bench keeps every measured point oracle-checked.
+    """
     options: dict = {}
     if timeline_bucket is not None:
         options["timeline_bucket"] = timeline_bucket
+    if oracles:
+        options["oracles"] = True
     return JobSpec(
         kind="experiment",
         payload=config.to_dict(),
@@ -259,7 +272,12 @@ def scenario_job(
 
 def _run_experiment_job(payload: dict, options: dict) -> dict:
     config = ExperimentConfig.from_dict(payload)
-    result = run_experiment(config)
+    suite = None
+    if options.get("oracles"):
+        from repro.verification.oracles import standard_suite
+
+        suite = standard_suite()
+    result = run_experiment(config, suite)
     summary = RunSummary.from_result(
         result, timeline_bucket=options.get("timeline_bucket"),
     )

@@ -1,0 +1,26 @@
+"""Sharded shared-mempool subsystem (Arma / BigDipper directions).
+
+Partitions the microblock space into shards with independent per-shard
+PAB quorums; consensus orders compact :class:`ShardCertificate`s instead
+of bodies. See DESIGN.md "Sharding" for the architecture.
+"""
+
+from repro.config import ShardingConfig
+from repro.sharding.certificate import (
+    CertificateError,
+    ShardCertificate,
+    make_shard_certificate,
+    verify_shard_certificate,
+)
+from repro.sharding.map import ShardMap
+from repro.sharding.pab import ShardPabEngine
+
+__all__ = [
+    "CertificateError",
+    "ShardCertificate",
+    "ShardMap",
+    "ShardPabEngine",
+    "ShardingConfig",
+    "make_shard_certificate",
+    "verify_shard_certificate",
+]

@@ -1,0 +1,120 @@
+"""Deterministic shard assignment and membership (Arma's parties).
+
+Two mappings live here:
+
+* **Keying** — which shard owns a piece of content. Clients key by id
+  (``shard_of_client``); microblocks key by their origin replica
+  (``shard_of_origin``), which composes the client keying with the
+  workload's client->replica assignment: all of a client's transactions
+  are batched by one replica, so they land in that replica's shard.
+* **Membership** — which replicas disseminate and certify a shard's
+  microblocks. Memberships are strided orbits over the replica ring
+  (shard ``s`` owns ``s, s + S, s + 2S, ...``), padded along the ring
+  when the orbit is smaller than the requested size, then rotated by the
+  config ``epoch`` for rebalancing. Every replica is a member of its own
+  shard, so the pusher's local copy counts toward the quorum.
+
+Each shard tolerates ``f_s = (m - 1) // 3`` Byzantine members out of its
+``m``-member subset and certifies availability with ``f_s + 1`` acks —
+at least one from a correct member, so a certified body is always
+recoverable (the per-shard PAB-Provable-Availability property).
+"""
+
+from __future__ import annotations
+
+from repro.config import ShardingConfig
+from repro.types.microblock import MicroBlockId, microblock_origin
+
+
+class ShardMap:
+    """Derived shard structure for an ``n``-replica network."""
+
+    __slots__ = (
+        "n", "config", "shards", "shard_size", "_members", "_member_sets",
+        "_quorums",
+    )
+
+    def __init__(self, n: int, config: ShardingConfig) -> None:
+        if n < 1:
+            raise ValueError(f"need at least one replica, got n={n}")
+        if config.shards > n:
+            raise ValueError(
+                f"cannot split {n} replicas into {config.shards} shards"
+            )
+        self.n = n
+        self.config = config
+        self.shards = config.shards
+        size = config.shard_size
+        if size is None:
+            size = min(n, max(4, -(-n // config.shards)))
+        if size > n:
+            raise ValueError(
+                f"shard_size {size} exceeds replica count {n}"
+            )
+        self.shard_size = size
+        self._members = tuple(
+            self._build_members(shard) for shard in range(self.shards)
+        )
+        self._member_sets = tuple(frozenset(m) for m in self._members)
+        self._quorums = tuple(
+            self.f_of(shard) + 1 for shard in range(self.shards)
+        )
+
+    def _build_members(self, shard: int) -> tuple[int, ...]:
+        members: list[int] = []
+        seen: set[int] = set()
+        stride = self.shards
+        for j in range(self.n):
+            node = (shard + j * stride) % self.n
+            if node not in seen:
+                seen.add(node)
+                members.append(node)
+            if len(members) >= self.shard_size:
+                break
+        offset = 1
+        while len(members) < self.shard_size:
+            node = (shard + offset) % self.n
+            if node not in seen:
+                seen.add(node)
+                members.append(node)
+            offset += 1
+        epoch = self.config.epoch
+        if epoch:
+            members = [(node + epoch) % self.n for node in members]
+        return tuple(sorted(members))
+
+    # -- keying --------------------------------------------------------
+
+    def shard_of_client(self, client_id: int) -> int:
+        """Deterministic client-id -> shard assignment."""
+        return client_id % self.shards
+
+    def shard_of_origin(self, origin: int) -> int:
+        """Shard that disseminates microblocks cut by ``origin``.
+
+        Inverts the epoch rotation so a replica stays a member of the
+        shard that owns its own microblocks across rebalances.
+        """
+        return (origin - self.config.epoch) % self.shards
+
+    def shard_of_microblock(self, mb_id: MicroBlockId) -> int:
+        return self.shard_of_origin(microblock_origin(mb_id))
+
+    # -- membership ----------------------------------------------------
+
+    def members(self, shard: int) -> tuple[int, ...]:
+        return self._members[shard]
+
+    def member_set(self, shard: int) -> frozenset[int]:
+        return self._member_sets[shard]
+
+    def is_member(self, node: int, shard: int) -> bool:
+        return node in self._member_sets[shard]
+
+    def f_of(self, shard: int) -> int:
+        """Faults tolerated inside ``shard``'s membership."""
+        return (len(self._members[shard]) - 1) // 3
+
+    def quorum(self, shard: int) -> int:
+        """Acks needed for a shard certificate (``f_s + 1``)."""
+        return self._quorums[shard]

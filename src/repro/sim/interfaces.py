@@ -197,6 +197,24 @@ class Transport(abc.ABC):
     ) -> None:
         """Send one copy per recipient (defaults to every other replica)."""
 
+    # -- congestion signals ----------------------------------------------
+
+    def expected_transfer_seconds(
+        self, src: int, size_bytes: float, copies: int = 1
+    ) -> Optional[float]:
+        """Estimated seconds for ``src`` to serialize ``copies`` messages
+        of ``size_bytes`` each, *including* its current egress backlog.
+
+        Retransmission timers use this as a congestion-aware floor: on a
+        contended uplink the honest answer to "did my push get lost?" is
+        "it has not finished serializing yet", and retrying at the
+        uncongested cadence adds load exactly when the link can least
+        absorb it. ``None`` (the default, and the live transport's
+        answer — TCP already retransmits) means no estimate is
+        available.
+        """
+        return None
+
     # -- endpoint lifecycle (crash-recovery model) -----------------------
 
     def set_node_down(self, node: int) -> None:

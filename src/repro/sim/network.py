@@ -17,8 +17,9 @@ paper's Appendix-A throughput formulas are exact:
 queueing behind each other (the simpy ``Container`` uplink/downlink
 technique; see DESIGN.md "Simulator scale-out"). Each active transfer
 runs at ``min(B_up / |up_active|, B_down / |down_active|)``; rates are
-recomputed only when a transfer starts or finishes, never per byte, so
-WAN contention at n=128 is modeled without event blowup. Bulk (DATA)
+recomputed only when a transfer starts or finishes — batched into one
+settle pass per sim instant over the touched ("dirty") links, never per
+byte — so WAN contention at n=128 is modeled without event blowup. Bulk (DATA)
 transfers are admitted through a bounded slot pool per uplink;
 consensus/control transfers bypass the pool so they are never stuck
 behind a wall of microblocks.
@@ -131,6 +132,10 @@ class NetworkStats:
 
     def kind_bytes(self, kind: str) -> float:
         return self._kind_totals.get(kind, 0.0)
+
+    def total_bytes(self) -> float:
+        """Bytes serialized network-wide (all senders, all kinds)."""
+        return sum(self._node_totals.values())
 
 
 class TokenBucket:
@@ -529,6 +534,35 @@ def _transfer_wake(state) -> None:
     fair._complete(transfer)
 
 
+def _fair_flush(fair: "_FairShareLinks") -> None:
+    """Deferred rate recompute for every dirty link (fire-path callback).
+
+    All membership changes since the last flush happened at the current
+    sim instant (the flush is armed with a zero-delay event the moment
+    the first link goes dirty), so settling each touched transfer's
+    elapsed progress at its *old* rate and assigning the new fair share
+    at the same timestamp is exact — no time passes between the change
+    and the recompute. Batching turns a B-transfer burst on one uplink
+    from ~B^2/2 per-transfer settles (every start re-rated every active
+    flow) into ~B: each burst instant settles each touched flow once.
+    """
+    fair._flush_armed = False
+    up = fair.up_active
+    down = fair.down_active
+    pending: dict[_Transfer, None] = {}
+    for node in sorted(fair._dirty_up):
+        pending.update(up[node])
+    for node in sorted(fair._dirty_down):
+        pending.update(down[node])
+    fair._dirty_up.clear()
+    fair._dirty_down.clear()
+    topology = fair.network.topology
+    now = fair.network.sim.now
+    for transfer in pending:
+        if not transfer.done:
+            fair._re_rate(transfer, topology, now, up, down)
+
+
 class _FairShareLinks:
     """Fair-share link state machine for the whole network.
 
@@ -536,11 +570,14 @@ class _FairShareLinks:
     gated by ``slots`` concurrent transfers), a list of active outbound
     transfers (uplink members) and active inbound transfers (downlink
     members). A transfer's rate is
-    ``min(B_up / |up_active|, B_down / |down_active|)``, recomputed for
-    the two touched membership lists whenever a transfer starts or
-    finishes — the rate depends only on membership counts, so no
-    recomputation cascades further (the simpy Container technique from
-    SNIPPETS Snippet 1, without per-byte token events).
+    ``min(B_up / |up_active|, B_down / |down_active|)``; the rate
+    depends only on membership counts, so no recomputation cascades
+    further (the simpy Container technique from SNIPPETS Snippet 1,
+    without per-byte token events). Membership changes mark their links
+    *dirty* and a single zero-delay flush per sim instant settles and
+    re-rates every transfer on dirty links (:func:`_fair_flush`) —
+    amortized O(1) settles per start/finish event instead of the old
+    O(active flows) sweep per change.
     """
 
     def __init__(self, network: "Network", slots: int) -> None:
@@ -552,10 +589,21 @@ class _FairShareLinks:
         self.queues: list[list[deque[_QueueItem]]] = [
             [deque() for _ in Channel] for _ in range(n)
         ]
-        self.up_active: list[list[_Transfer]] = [[] for _ in range(n)]
-        self.down_active: list[list[_Transfer]] = [[] for _ in range(n)]
+        # Memberships are dicts used as ordered sets: O(1) add/remove
+        # (the old lists paid O(flows) per ``.remove``) with insertion-
+        # ordered, deterministic iteration.
+        self.up_active: list[dict[_Transfer, None]] = [{} for _ in range(n)]
+        self.down_active: list[dict[_Transfer, None]] = [{} for _ in range(n)]
         #: DATA transfers currently holding one of ``slots`` per uplink.
         self.data_in_flight: list[int] = [0] * n
+        #: Links whose membership changed since the last rate flush.
+        self._dirty_up: set[int] = set()
+        self._dirty_down: set[int] = set()
+        self._flush_armed = False
+        #: Per-transfer settle/re-rate operations performed — the
+        #: O(1)-amortized claim is asserted against this counter by
+        #: ``tests/test_fair_share.py``.
+        self.settle_ops = 0
 
     # -- submission ----------------------------------------------------
 
@@ -594,28 +642,30 @@ class _FairShareLinks:
                     queue.popleft()
             network.stats.record_send(src, envelope.kind, envelope.size_bytes)
             transfer = _Transfer(envelope, now)
-            self.up_active[src].append(transfer)
-            self.down_active[envelope.dst].append(transfer)
+            self.up_active[src][transfer] = None
+            self.down_active[envelope.dst][transfer] = None
             started.append(transfer)
         for transfer in started:
-            self._rebalance(transfer.envelope.src, transfer.envelope.dst)
+            self._mark(transfer.envelope.src, transfer.envelope.dst)
 
     # -- rate bookkeeping ----------------------------------------------
 
-    def _rebalance(self, src: int, dst: int) -> None:
-        """Settle and re-rate every transfer on the touched links."""
-        topology = self.network.topology
-        now = self.network.sim.now
-        up = self.up_active
-        down = self.down_active
-        seen_src = {src}
-        for transfer in up[src]:
-            self._re_rate(transfer, topology, now, up, down)
-        for transfer in down[dst]:
-            if transfer.envelope.src not in seen_src:
-                self._re_rate(transfer, topology, now, up, down)
+    def _mark(self, src: int, dst: int) -> None:
+        """Record a membership change; arm one flush for this instant.
+
+        The zero-delay flush event lands after every already-queued
+        same-instant event, so an entire burst of starts/finishes is
+        settled with a single pass over the touched links instead of one
+        O(active flows) sweep per change.
+        """
+        self._dirty_up.add(src)
+        self._dirty_down.add(dst)
+        if not self._flush_armed:
+            self._flush_armed = True
+            self.network.sim.schedule_fire(0.0, _fair_flush, self)
 
     def _re_rate(self, transfer, topology, now, up, down) -> None:
+        self.settle_ops += 1
         elapsed = now - transfer.updated
         if elapsed > 0.0:
             transfer.remaining_bits -= transfer.rate * elapsed
@@ -643,14 +693,14 @@ class _FairShareLinks:
         transfer.done = True
         envelope = transfer.envelope
         src, dst = envelope.src, envelope.dst
-        self.up_active[src].remove(transfer)
-        self.down_active[dst].remove(transfer)
+        del self.up_active[src][transfer]
+        del self.down_active[dst][transfer]
         if envelope.channel is Channel.DATA or not self.network.priority_channels:
             self.data_in_flight[src] -= 1
         envelope.sent_at = self.network.sim.now
         self.network._dispatch_copy(envelope, self.network.sim.now)
         self._admit(src)
-        self._rebalance(src, dst)
+        self._mark(src, dst)
 
     def flush(self, node: int) -> int:
         """Crash teardown: clear the node's queues, kill its transfers."""
@@ -670,14 +720,14 @@ class _FairShareLinks:
             touched.append((transfer.envelope.src, transfer.envelope.dst))
         for src, dst in touched:
             self._admit(src)
-            self._rebalance(src, dst)
+            self._mark(src, dst)
         return dropped
 
     def _kill(self, transfer: _Transfer) -> None:
         transfer.done = True
         envelope = transfer.envelope
-        self.up_active[envelope.src].remove(transfer)
-        self.down_active[envelope.dst].remove(transfer)
+        del self.up_active[envelope.src][transfer]
+        del self.down_active[envelope.dst][transfer]
         if (
             envelope.channel is Channel.DATA
             or not self.network.priority_channels
@@ -968,6 +1018,23 @@ class Network(Transport):
         if self._fair is not None:
             return self._fair.queued_bytes(node, channel)
         return self._uplinks[node].queued_bytes(channel)
+
+    def expected_transfer_seconds(
+        self, src: int, size_bytes: float, copies: int = 1
+    ) -> Optional[float]:
+        """Backlog-aware estimate of clearing ``copies`` new copies.
+
+        Everything already queued on (or partially through) ``src``'s
+        uplink serializes first, so the estimate is the full backlog
+        plus the new copies at the current bandwidth. Used as a floor
+        for retransmission timers (see ``adaptive_retry_delay``) so
+        congestion does not masquerade as loss.
+        """
+        bandwidth = self.topology.bandwidth(src, now=self.sim.now)
+        if bandwidth <= 0:
+            return None
+        backlog = self.queued_bytes(src)
+        return (backlog + size_bytes * copies) * 8.0 / bandwidth
 
     # -- internal ----------------------------------------------------------
 

@@ -25,20 +25,27 @@ from repro.types.microblock import MicroBlock, MicroBlockId
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.crypto.certificates import QuorumCert
     from repro.crypto.proofs import AvailabilityProof
+    from repro.sharding.certificate import ShardCertificate
 
 
 @dataclass(frozen=True)
 class PayloadEntry:
-    """One microblock reference inside a proposal, optionally with proof."""
+    """One microblock reference inside a proposal, optionally carrying
+    the evidence consensus votes on: an availability proof (Stratus) or
+    a shard certificate (sharded-stratus). ``cert`` is appended last so
+    the binary codec's positional layout stays backward-ordered."""
 
     mb_id: MicroBlockId
     proof: Optional["AvailabilityProof"] = None
+    cert: Optional["ShardCertificate"] = None
 
     @property
     def size_bytes(self) -> int:
         size = sizes.MICROBLOCK_ID
         if self.proof is not None:
             size += self.proof.size_bytes
+        if self.cert is not None:
+            size += self.cert.size_bytes
         return size
 
 

@@ -60,3 +60,22 @@ def availability_proof_bytes(quorum: int) -> int:
     if quorum <= 0:
         raise ValueError(f"quorum must be positive, got {quorum}")
     return quorum * SIGNATURE + MICROBLOCK_ID
+
+
+SHARD_CERT_HEADER = MICROBLOCK_ID + 8 + 8 + 8 + 8
+"""id + shard + origin + tx count + mean arrival timestamp."""
+
+
+def shard_certificate_bytes(quorum: int) -> int:
+    """Wire size of a shard certificate.
+
+    Unlike :func:`availability_proof_bytes` (concatenated signatures),
+    certificates ride inside every proposal broadcast — an O(n)-copy
+    cost per certificate — so they are modeled as BLS-style aggregates:
+    one constant signature plus a 2-byte member index per signer. This
+    keeps certificate-only ordering cheap even for wide shards, which is
+    the whole point of ordering certificates instead of proofs.
+    """
+    if quorum <= 0:
+        raise ValueError(f"quorum must be positive, got {quorum}")
+    return SHARD_CERT_HEADER + SIGNATURE + 2 * quorum

@@ -15,7 +15,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
-from repro.config import CONSENSUS_KINDS, MEMPOOL_KINDS, ProtocolConfig
+from repro.config import CONSENSUS_KINDS, ProtocolConfig
 from repro.faults.schedule import FaultSchedule
 from repro.harness.config import ExperimentConfig
 from repro.harness.runner import ExperimentResult, run_experiment
@@ -44,6 +44,14 @@ QUICK_PROTOCOL = {
 LIVENESS_MARGIN = 0.5
 
 FAULT_KINDS = ("crash", "partition", "loss", "bandwidth", "delay")
+
+#: Mempool pool the fuzzer draws from by default. Pinned rather than
+#: aliased to ``MEMPOOL_KINDS``: scenario ``i`` is a pure function of
+#: the root seed *and this tuple*, so growing the global registry (e.g.
+#: adding ``sharded-stratus``) must not silently re-point every recorded
+#: corpus cell at a different configuration. New kinds get their own
+#: hand-rolled corpus cells instead (see ``tests/test_fuzz_corpus.py``).
+FUZZ_MEMPOOL_KINDS = ("native", "simple", "gossip", "narwhal", "stratus")
 
 
 def default_liveness_bound(protocol: ProtocolConfig) -> float:
@@ -316,7 +324,7 @@ class ScenarioFuzzer:
         self,
         root_seed: int,
         protocols: Sequence[str] = CONSENSUS_KINDS,
-        mempools: Sequence[str] = MEMPOOL_KINDS,
+        mempools: Sequence[str] = FUZZ_MEMPOOL_KINDS,
         n_choices: Sequence[int] = (4, 5, 7),
         duration_range: tuple[float, float] = (3.0, 5.0),
         rate_range: tuple[float, float] = (100.0, 600.0),

@@ -42,6 +42,22 @@ if TYPE_CHECKING:  # pragma: no cover
 GENESIS_ID = 0
 
 
+def _shard_map_for(protocol) -> Optional["object"]:
+    """Build the run's :class:`~repro.sharding.ShardMap`, or ``None``.
+
+    Oracles reach the protocol config through a ``getattr`` chain rather
+    than :attr:`Oracle.config` so the live replay's duck-typed suite
+    (:class:`repro.live.verify._LiveSuite`), which may omit the config
+    entirely, still works — it just falls back to the unsharded checks.
+    """
+    if protocol is None or protocol.mempool != "sharded-stratus":
+        return None
+    from repro.config import ShardingConfig
+    from repro.sharding import ShardMap
+
+    return ShardMap(protocol.n, protocol.sharding or ShardingConfig())
+
+
 @dataclass
 class Violation:
     """One observed invariant breach, with enough context to debug it."""
@@ -312,11 +328,16 @@ class AvailabilityOracle(Oracle):
     ``strict=True`` to arm the PAB bar (``f + 1 - byz``) anyway, which is
     how the mutation self-test catches a mempool that skips the proof
     gate.
+
+    For ``sharded-stratus`` the claim is *per shard*: a certificate
+    carries ``quorum(s)`` member acks, so at least ``quorum(s) - byz_s``
+    honest *members of shard s* hold the body — non-members are expected
+    to commit certificates without bodies, so only member stores count.
     """
 
     name = "availability"
 
-    CERTIFYING = ("stratus", "narwhal")
+    CERTIFYING = ("stratus", "narwhal", "sharded-stratus")
 
     def __init__(
         self, strict: bool = False, threshold: Optional[int] = None
@@ -329,6 +350,7 @@ class AvailabilityOracle(Oracle):
         self._checked: set[int] = set()
         protocol = self.config.protocol
         self._armed = self._strict or protocol.mempool in self.CERTIFYING
+        self._shard_map = _shard_map_for(protocol)
         byz = len(self.config.byzantine_ids)
         if self._override is not None:
             self._threshold = self._override
@@ -338,6 +360,19 @@ class AvailabilityOracle(Oracle):
             self._threshold = max(1, protocol.stability_quorum - byz)
         else:
             self._threshold = max(1, protocol.f + 1 - byz)
+
+    def _shard_bar(self, mb_id) -> tuple[Optional[frozenset[int]], int]:
+        """(eligible holders, required count) for one microblock."""
+        if self._shard_map is None:
+            return None, self._threshold
+        shard = self._shard_map.shard_of_microblock(mb_id)
+        members = self._shard_map.member_set(shard)
+        if self._override is not None:
+            return members, self._override
+        byz_in = sum(
+            1 for node in self.config.byzantine_ids if node in members
+        )
+        return members, max(1, self._shard_map.quorum(shard) - byz_in)
 
     @staticmethod
     def _holds(replica: "Replica", mb_id) -> bool:
@@ -353,25 +388,39 @@ class AvailabilityOracle(Oracle):
         if proposal.payload.embedded:
             return  # data travelled inside the proposal itself
         for mb_id in proposal.payload.microblock_ids:
+            eligible, threshold = self._shard_bar(mb_id)
             holders = [
                 peer.node_id for peer in self.suite.honest_replicas()
-                if self._holds(peer, mb_id)
+                if (eligible is None or peer.node_id in eligible)
+                and self._holds(peer, mb_id)
             ]
-            if len(holders) < self._threshold:
+            if len(holders) < threshold:
+                where = (
+                    "honest store(s)" if eligible is None
+                    else "honest shard-member store(s)"
+                )
                 self.report(
                     "unavailable",
                     f"microblock {mb_id:#x} committed in block "
                     f"{proposal.block_id:#x} is held by only "
-                    f"{len(holders)} honest store(s), need "
-                    f"{self._threshold}",
+                    f"{len(holders)} {where}, need {threshold}",
                     node=replica.node_id,
                     microblock=mb_id, block=proposal.block_id,
-                    holders=holders, threshold=self._threshold,
+                    holders=holders, threshold=threshold,
                 )
 
 
 class LedgerOracle(Oracle):
-    """SMP integrity: committed content is exactly client content."""
+    """SMP integrity: committed content is exactly client content.
+
+    Under ``sharded-stratus``, commits are certificate-level: a replica
+    may never resolve a foreign shard's bodies, and throughput is
+    accounted from certificate tx counts. Conservation is therefore
+    checked *per shard* as well — certified transactions committed in a
+    shard must not exceed transactions batched by that shard's origins —
+    and each committed certificate's embedded tx count is cross-checked
+    against the honest origin's creation record.
+    """
 
     name = "smp-integrity"
 
@@ -388,12 +437,27 @@ class LedgerOracle(Oracle):
         self._committed_tx = 0
         self._seen_blocks: set[int] = set()
         self._resolved_blocks: set[int] = set()
+        # Per-shard conservation (sharded-stratus only). The getattr
+        # chain tolerates the live replay's duck-typed suite, which may
+        # not carry a config at all.
+        protocol = getattr(
+            getattr(self.suite.experiment, "config", None), "protocol", None
+        )
+        self._shard_map = _shard_map_for(protocol)
+        self._shard_created: dict[int, int] = {}
+        self._shard_committed: dict[int, int] = {}
 
     def on_microblock_created(
         self, replica: "Replica", microblock: "MicroBlock"
     ) -> None:
         record = (microblock.tx_count, microblock.origin)
+        first_time = microblock.id not in self._created
         existing = self._created.setdefault(microblock.id, record)
+        if first_time and self._shard_map is not None:
+            shard = self._shard_map.shard_of_origin(microblock.origin)
+            self._shard_created[shard] = (
+                self._shard_created.get(shard, 0) + microblock.tx_count
+            )
         if existing != record:
             self.report(
                 "id-collision",
@@ -411,6 +475,11 @@ class LedgerOracle(Oracle):
         if proposal.block_id in self._seen_blocks:
             return
         self._seen_blocks.add(proposal.block_id)
+        certs = {
+            entry.mb_id: entry.cert
+            for entry in proposal.payload.entries
+            if getattr(entry, "cert", None) is not None
+        }
         for mb_id in proposal.payload.microblock_ids:
             owner = self._committed.get(mb_id)
             if owner is not None and owner != proposal.block_id:
@@ -435,7 +504,25 @@ class LedgerOracle(Oracle):
                     )
                 continue
             self._committed[mb_id] = proposal.block_id
-            self._committed_tx += self._created.get(mb_id, (0, 0))[0]
+            created_tx = self._created.get(mb_id, (0, 0))[0]
+            self._committed_tx += created_tx
+            cert = certs.get(mb_id)
+            if cert is not None:
+                if self._shard_map is not None:
+                    shard = self._shard_map.shard_of_microblock(mb_id)
+                    self._shard_committed[shard] = (
+                        self._shard_committed.get(shard, 0) + cert.tx_count
+                    )
+                if mb_id in self._created and cert.tx_count != created_tx:
+                    self.report(
+                        "cert-mismatch",
+                        f"certificate for microblock {mb_id:#x} claims "
+                        f"{cert.tx_count} txs but the origin batched "
+                        f"{created_tx}",
+                        node=replica.node_id,
+                        microblock=mb_id, block=proposal.block_id,
+                        certified=cert.tx_count, created=created_tx,
+                    )
             if mb_id not in self._created:
                 self.report(
                     "fabricated",
@@ -470,6 +557,17 @@ class LedgerOracle(Oracle):
                 f"but clients only submitted {emitted}",
                 committed=self._committed_tx, emitted=emitted,
             )
+        if self._shard_map is not None:
+            for shard in sorted(self._shard_committed):
+                committed = self._shard_committed[shard]
+                created = self._shard_created.get(shard, 0)
+                if committed > created:
+                    self.report(
+                        "shard-conservation",
+                        f"shard {shard} committed {committed} certified "
+                        f"txs but its origins only batched {created}",
+                        shard=shard, committed=committed, created=created,
+                    )
 
 
 class LivenessOracle(Oracle):

@@ -157,6 +157,35 @@ def test_unknown_link_model_is_rejected():
         Network(Simulator(), topology, RngRegistry(1), link_model="magic")
 
 
+def test_rate_recompute_is_amortized_o1_per_event():
+    # A B-send burst through one contended uplink used to settle every
+    # active flow on each start/finish (~B^2/2 per-transfer settles);
+    # the dirty-link flush settles each touched flow once per instant.
+    # The bound is counter-based, not wall-clock, so it cannot flake:
+    # with generous slop, ~10*B settles for B transfers, far under the
+    # ~B^2/2 = 45,000 the eager recompute would have paid.
+    sim, network, log = make_net(n=4, fair_share_slots=300)
+    burst = 300
+    for i in range(burst):
+        network.send(0, 1 + (i % 3), "vote", 10_000, None,
+                     Channel.CONSENSUS)
+    sim.run()
+    assert len(log) == burst
+    assert network._fair.settle_ops <= 10 * burst
+
+
+def test_settle_flush_is_batched_per_instant():
+    # All same-instant starts are settled by a single flush pass: the
+    # burst itself costs one settle per transfer, not one per pair.
+    sim, network, log = make_net(n=3, fair_share_slots=100)
+    for _ in range(100):
+        network.send(0, 1, "mb", 1_000, None, Channel.CONSENSUS)
+    ops_before = network._fair.settle_ops
+    assert ops_before == 0  # nothing settled until the flush event runs
+    sim.run_until(0.0)
+    assert network._fair.settle_ops == 100
+
+
 def test_fair_share_runs_are_deterministic():
     def run():
         sim, network, log = make_net(n=4, jitter=0.002)

@@ -70,6 +70,39 @@ def test_corpus_scenario_clean(root, index, consensus, mempool):
     assert elapsed < SCENARIO_BUDGET_S
 
 
+# -- sharded-stratus cell ----------------------------------------------------
+#
+# ``sharded-stratus`` is deliberately NOT in the fuzzer's pinned pool
+# (see FUZZ_MEMPOOL_KINDS): adding it there would re-derive every
+# recorded (seed, index) cell above. It gets a hand-rolled chaos cell
+# instead — certificate-only ordering under crash + partition with the
+# shard-aware oracles armed.
+
+def test_sharded_stratus_hotstuff_chaos_cell():
+    from repro.config import ProtocolConfig, ShardingConfig
+    from repro.harness.config import ExperimentConfig
+    from repro.harness.presets import chaos_schedule
+    from repro.harness.runner import build_experiment
+    from repro.verification import standard_suite
+
+    protocol = ProtocolConfig(
+        n=8, consensus="hotstuff", mempool="sharded-stratus",
+        sharding=ShardingConfig(shards=2),
+        batch_bytes=4 * 128, batch_timeout=0.05, view_timeout=0.5,
+    )
+    config = ExperimentConfig(
+        protocol=protocol, rate_tps=400.0, duration=6.0, warmup=0.5,
+        seed=11, label="sharded-chaos-crash-partition",
+        faults=chaos_schedule("crash-partition", 8),
+    )
+    started = time.monotonic()
+    result = build_experiment(config, standard_suite()).run()
+    elapsed = time.monotonic() - started
+    assert result.violations == []
+    assert result.committed_tx > 0
+    assert elapsed < SCENARIO_BUDGET_S
+
+
 # -- durability cells --------------------------------------------------------
 #
 # The restart-under-chaos corpus: crash-restart preset with the durable

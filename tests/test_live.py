@@ -289,3 +289,32 @@ def test_live_smoke_hotstuff_native():
     result = run_live(_live_config("native"))
     assert result.committed_blocks >= 1
     assert result.violations == []
+
+
+@pytest.mark.slow
+def test_live_smoke_hotstuff_sharded_two_shards():
+    """n=4 over real TCP with two shards: certificate-only ordering end
+    to end — shard pushes, cert broadcasts, cert-bearing proposals, and
+    the shard-aware replay oracles — on the live runtime."""
+    from repro.config import ShardingConfig
+
+    config = LiveConfig(
+        experiment=ExperimentConfig(
+            protocol=ProtocolConfig(
+                n=4, mempool="sharded-stratus", consensus="hotstuff",
+                sharding=ShardingConfig(shards=2),
+            ),
+            rate_tps=300.0,
+            duration=1.2,
+            warmup=0.5,
+            seed=7,
+            label="smoke-sharded-stratus",
+        ),
+        startup_grace=2.5,
+    )
+    result = run_live(config)
+    assert result.committed_blocks >= 1
+    assert result.violations == []
+    assert result.committed_tx > 0
+    assert all(entry["bytes_in"] > 0 for entry in result.per_replica)
+    json.dumps(result.to_dict())

@@ -21,7 +21,8 @@ def test_standard_suite_scenarios():
     names = [scenario.name for scenario in scenarios.get_scenarios()]
     assert names == [
         "stratus-hotstuff", "simple-smp", "chaos-crash-partition",
-        "disseminate-128", "stratus-hotstuff-128",
+        "disseminate-128", "stratus-wan-fair-share",
+        "stratus-hotstuff-128",
     ]
 
 

@@ -1,0 +1,231 @@
+"""Shard map and shard certificate units (``repro.sharding``).
+
+The end-to-end behavior of the ``sharded-stratus`` backend rides the
+harness/fuzz suites; this file pins the deterministic structure the
+whole design rests on — membership layout, per-shard fault tolerance,
+certificate assembly and the validity checks replicas vote on.
+"""
+
+import pytest
+
+from repro.config import ShardingConfig
+from repro.crypto import sign
+from repro.crypto.signatures import Signature
+from repro.sharding import (
+    CertificateError,
+    ShardCertificate,
+    ShardMap,
+    make_shard_certificate,
+    verify_shard_certificate,
+)
+from repro.types.microblock import MicroBlock, make_microblock_id
+
+
+def make_map(n=16, shards=4, **kwargs):
+    return ShardMap(n, ShardingConfig(shards=shards, **kwargs))
+
+
+def make_mb(origin=1, counter=0, tx_count=10):
+    return MicroBlock(
+        id=make_microblock_id(origin, counter), origin=origin,
+        tx_count=tx_count, tx_payload=128, created_at=0.0,
+        sum_arrival=0.0,
+    )
+
+
+# -- shard map ---------------------------------------------------------------
+
+def test_map_is_deterministic():
+    first = make_map(64, 8)
+    second = make_map(64, 8)
+    for shard in range(8):
+        assert first.members(shard) == second.members(shard)
+        assert first.quorum(shard) == second.quorum(shard)
+
+
+def test_memberships_are_strided_orbits():
+    shard_map = make_map(16, 4)
+    # Shard s owns s, s+4, s+8, s+12 — every replica appears in exactly
+    # its own orbit, so dissemination load spreads evenly.
+    assert shard_map.members(0) == (0, 4, 8, 12)
+    assert shard_map.members(3) == (3, 7, 11, 15)
+
+
+def test_every_origin_is_a_member_of_its_own_shard():
+    for n, shards in ((16, 4), (32, 8), (64, 4), (128, 8), (7, 2)):
+        shard_map = make_map(n, shards)
+        for origin in range(n):
+            shard = shard_map.shard_of_origin(origin)
+            assert shard_map.is_member(origin, shard)
+
+
+def test_shard_size_floor_pads_small_orbits():
+    # 16 replicas over 8 shards would give 2-member orbits; the 4-member
+    # floor pads along the ring so each shard still tolerates f_s >= 1.
+    shard_map = make_map(16, 8)
+    for shard in range(8):
+        assert len(shard_map.members(shard)) == 4
+        assert shard_map.f_of(shard) == 1
+        assert shard_map.quorum(shard) == 2
+
+
+def test_quorum_tolerates_f_byzantine_members():
+    # quorum = f_s + 1: even with f_s members refusing to ack, the
+    # remaining honest members can still certify — and any certificate
+    # has at least one honest signer to fetch from.
+    shard_map = make_map(64, 4)  # 16-member shards
+    for shard in range(4):
+        m = len(shard_map.members(shard))
+        f = shard_map.f_of(shard)
+        assert f == (m - 1) // 3
+        assert shard_map.quorum(shard) == f + 1
+        assert shard_map.quorum(shard) <= m - f
+
+
+def test_epoch_rotation_rebalances_but_keeps_own_membership():
+    base = make_map(16, 4)
+    rotated = make_map(16, 4, epoch=3)
+    assert rotated.members(0) != base.members(0)
+    for origin in range(16):
+        shard = rotated.shard_of_origin(origin)
+        assert rotated.is_member(origin, shard)
+
+
+def test_client_keying_partitions_clients():
+    shard_map = make_map(16, 4)
+    assert {shard_map.shard_of_client(c) for c in range(100)} == set(range(4))
+    assert shard_map.shard_of_client(7) == shard_map.shard_of_client(7 + 4)
+
+
+def test_invalid_configs_are_rejected():
+    with pytest.raises(ValueError, match="cannot split"):
+        make_map(4, 8)
+    with pytest.raises(ValueError, match="shard_size"):
+        make_map(8, 2, shard_size=16)
+
+
+# -- certificates ------------------------------------------------------------
+
+def _quorum_acks(shard_map, mb, shard):
+    members = shard_map.members(shard)
+    return [sign(node, mb.id) for node in members[:shard_map.quorum(shard)]]
+
+
+def test_make_certificate_from_quorum_acks():
+    shard_map = make_map(16, 4)
+    mb = make_mb(origin=1)
+    shard = shard_map.shard_of_origin(1)
+    cert = make_shard_certificate(
+        mb, shard, _quorum_acks(shard_map, mb, shard),
+        shard_map.members(shard), shard_map.quorum(shard), 16,
+    )
+    assert cert.tx_count == mb.tx_count
+    assert verify_shard_certificate(cert, mb.id, shard_map)
+
+
+def test_non_member_acks_do_not_count():
+    shard_map = make_map(16, 4)
+    mb = make_mb(origin=1)
+    shard = shard_map.shard_of_origin(1)
+    outsiders = [
+        node for node in range(16) if not shard_map.is_member(node, shard)
+    ]
+    acks = [sign(node, mb.id) for node in outsiders]
+    with pytest.raises(CertificateError, match="distinct member acks"):
+        make_shard_certificate(
+            mb, shard, acks, shard_map.members(shard),
+            shard_map.quorum(shard), 16,
+        )
+
+
+def test_duplicate_and_forged_acks_do_not_count():
+    shard_map = make_map(16, 4)
+    mb = make_mb(origin=1)
+    shard = shard_map.shard_of_origin(1)
+    member = shard_map.members(shard)[0]
+    acks = [sign(member, mb.id)] * 3 + [
+        Signature(signer=shard_map.members(shard)[1], digest=mb.id,
+                  forged=True)
+    ]
+    with pytest.raises(CertificateError):
+        make_shard_certificate(
+            mb, shard, acks, shard_map.members(shard),
+            shard_map.quorum(shard), 16,
+        )
+
+
+def _valid_cert(shard_map, origin=1):
+    mb = make_mb(origin=origin)
+    shard = shard_map.shard_of_origin(origin)
+    return mb, make_shard_certificate(
+        mb, shard, _quorum_acks(shard_map, mb, shard),
+        shard_map.members(shard), shard_map.quorum(shard), shard_map.n,
+    )
+
+
+def test_verify_rejects_wrong_binding_and_structure():
+    shard_map = make_map(16, 4)
+    mb, cert = _valid_cert(shard_map)
+    # Wrong microblock id binding.
+    assert not verify_shard_certificate(cert, mb.id + 1, shard_map)
+    # Wrong claimed shard for the origin.
+    wrong_shard = ShardCertificate(
+        mb_id=cert.mb_id, shard=(cert.shard + 1) % 4, origin=cert.origin,
+        tx_count=cert.tx_count, mean_arrival=cert.mean_arrival,
+        signers=cert.signers,
+    )
+    assert not verify_shard_certificate(wrong_shard, mb.id, shard_map)
+    # Sub-quorum signer set.
+    thin = ShardCertificate(
+        mb_id=cert.mb_id, shard=cert.shard, origin=cert.origin,
+        tx_count=cert.tx_count, mean_arrival=cert.mean_arrival,
+        signers=cert.signers[:shard_map.quorum(cert.shard) - 1] or (),
+    )
+    assert not verify_shard_certificate(thin, mb.id, shard_map)
+    # Signers outside the owning shard's membership.
+    outsider = next(
+        node for node in range(16)
+        if not shard_map.is_member(node, cert.shard)
+    )
+    foreign = ShardCertificate(
+        mb_id=cert.mb_id, shard=cert.shard, origin=cert.origin,
+        tx_count=cert.tx_count, mean_arrival=cert.mean_arrival,
+        signers=tuple(list(cert.signers[:-1]) + [outsider]),
+    )
+    assert not verify_shard_certificate(foreign, mb.id, shard_map)
+
+
+def test_verify_rejects_cert_under_different_map():
+    # A certificate minted under one epoch must not validate under a
+    # rebalanced map whose membership no longer contains its signers.
+    old_map = make_map(16, 4)
+    _, cert = _valid_cert(old_map)
+    new_map = make_map(16, 4, epoch=2)
+    mb_id = cert.mb_id
+    valid_under_new = (
+        set(cert.signers) <= new_map.member_set(
+            new_map.shard_of_origin(cert.origin)
+        )
+        and cert.shard == new_map.shard_of_origin(cert.origin)
+    )
+    assert verify_shard_certificate(cert, mb_id, new_map) == valid_under_new
+
+
+def test_verification_is_memoized_per_map():
+    shard_map = make_map(16, 4)
+    mb, cert = _valid_cert(shard_map)
+    assert verify_shard_certificate(cert, mb.id, shard_map)
+    assert cert._verified_key == (shard_map.n, shard_map.config)
+    # The binding check still runs on the memoized path.
+    assert not verify_shard_certificate(cert, mb.id + 1, shard_map)
+
+
+def test_certificate_wire_size_is_aggregate_not_concatenated():
+    from repro.types import sizes
+
+    small = sizes.shard_certificate_bytes(2)
+    wide = sizes.shard_certificate_bytes(22)
+    # One aggregate signature plus 2-byte member indices: widening the
+    # quorum by 20 signers costs 40 bytes, not 20 signatures.
+    assert wide - small == 40
+    assert small > sizes.SHARD_CERT_HEADER

@@ -28,6 +28,7 @@ from repro.live.wire import (
     to_wire,
 )
 from repro.mempool.base import MessageKinds
+from repro.sharding.certificate import ShardCertificate
 from repro.sim.engine import Simulator
 from repro.sim.interfaces import Channel
 from repro.types.batch import TxBatch
@@ -62,8 +63,15 @@ batches = st.builds(
     payload_bytes=st.integers(min_value=1, max_value=4096),
     mean_arrival=times,
 )
+shard_certs = st.builds(
+    ShardCertificate,
+    mb_id=ids, shard=st.integers(0, 15), origin=nodes,
+    tx_count=st.integers(min_value=1, max_value=10_000),
+    mean_arrival=times, signers=signer_sets, forged=st.booleans(),
+)
 entries = st.builds(PayloadEntry, mb_id=ids,
-                    proof=st.one_of(st.none(), proofs))
+                    proof=st.one_of(st.none(), proofs),
+                    cert=st.one_of(st.none(), shard_certs))
 payloads = st.builds(
     Payload,
     entries=st.lists(entries, max_size=4).map(tuple),
@@ -115,6 +123,9 @@ PAYLOADS_BY_KIND = {
     CLIENT_BATCH: batches,
     MessageKinds.STATE_SNAPSHOT_REQ: st.integers(0, 10_000),
     MessageKinds.STATE_SNAPSHOT: snapshots,
+    MessageKinds.SHARD_MICROBLOCK: microblocks,
+    MessageKinds.SHARD_ACK: signatures,
+    MessageKinds.SHARD_CERT: st.tuples(ids, shard_certs),
 }
 
 any_message = st.sampled_from(sorted(MESSAGE_REGISTRY)).flatmap(
